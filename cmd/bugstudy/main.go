@@ -1,0 +1,95 @@
+// Command bugstudy reproduces the paper's §2 real-world bug study: it
+// recomputes every published aggregate from the encoded 70-bug dataset, and
+// then runs the executable demonstration — for each injectable bug class,
+// a regression workload covers the buggy code yet misses the bug, while an
+// input-coverage-guided boundary workload triggers it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iocov/internal/bugdb"
+	"iocov/internal/bugsim"
+	"iocov/internal/corr"
+	"iocov/internal/vfs"
+)
+
+func main() {
+	showBugs := flag.Bool("bugs", false, "list every bug record")
+	corrWorkloads := flag.Int("corr", 200, "random workloads for the correlation study")
+	flag.Parse()
+
+	bugs := bugdb.Load()
+	a := bugdb.Aggregate(bugs)
+
+	fmt.Println("Real-world bug study (HotStorage '23, §2)")
+	fmt.Println("=========================================")
+	fmt.Printf("Dataset: %d bug-fix commits (%d Ext4, %d BtrFS) from 200 commits of 2022\n\n",
+		a.Total, a.Ext4, a.Btrfs)
+
+	row := func(label string, n, d int, paper string) {
+		fmt.Printf("  %-46s %2d/%2d  (%4.0f%%, paper: %s)\n", label, n, d, bugdb.Pct(n, d), paper)
+	}
+	row("line-covered by xfstests but missed", a.LineCovMissed, a.Total, "53%")
+	row("function-covered but missed", a.FuncCovMissed, a.Total, "61%")
+	row("branch-covered but missed", a.BranchCovMissed, a.Total, "29%")
+	row("input bugs (need specific syscall inputs)", a.InputBugs, a.Total, "71%")
+	row("output bugs (exit paths / syscall returns)", a.OutputBugs, a.Total, "59%")
+	row("input- or output-related", a.InputOrOutput, a.Total, "81%")
+	row("covered-missed triggerable by specific args", a.ArgTriggerableAmongLineCovMissed, a.LineCovMissed, "65%")
+	fmt.Println()
+
+	if *showBugs {
+		for _, b := range bugs {
+			det := "missed"
+			if b.Detected {
+				det = "DETECTED"
+			}
+			fmt.Printf("  %-22s %-6s line=%-5v func=%-5v branch=%-5v in=%-5v out=%-5v %s  %s\n",
+				b.ID, b.FS, b.LineCovered, b.FuncCovered, b.BranchCovered,
+				b.InputBug, b.OutputBug, det, b.Title)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Executable demonstration: coverage is not detection")
+	fmt.Println("====================================================")
+	fmt.Println("regression workload (ordinary inputs) vs boundary workload (untested partitions):")
+	fmt.Println()
+	failures := 0
+	for _, bug := range bugsim.Catalog {
+		reg := bugsim.Assess(bug, vfs.DefaultConfig(), bugsim.RegressionWorkload)
+		bnd := bugsim.Assess(bug, vfs.DefaultConfig(), bugsim.BoundaryWorkload(bug.ID))
+		fmt.Printf("  %-22s (%s) region %-22s\n", bug.ID, bug.Commit, bug.Region)
+		fmt.Printf("    regression: func/line covered=%v (hits=%d), branch covered=%v, detected=%v\n",
+			reg.RegionCovered, reg.RegionHits, reg.BranchCovered, reg.Detected)
+		fmt.Printf("    boundary:   func/line covered=%v, branch covered=%v, detected=%v\n",
+			bnd.RegionCovered, bnd.BranchCovered, bnd.Detected)
+		for i, ev := range bnd.Evidence {
+			if i == 2 {
+				fmt.Printf("      ... (%d more)\n", len(bnd.Evidence)-2)
+				break
+			}
+			fmt.Printf("      %s\n", ev)
+		}
+		if !reg.RegionCovered || reg.Detected || !bnd.Detected {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bugstudy: %d bug classes did not behave as expected\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nAll bug classes: covered-but-missed under regression inputs, exposed by boundary inputs.")
+
+	fmt.Println("\nCorrelation study: code coverage vs input coverage as detection predictors")
+	fmt.Println("===========================================================================")
+	res := corr.Run(corr.Config{Workloads: *corrWorkloads, Seed: 1})
+	fmt.Printf("  random workloads:                      %d (x %d bug classes)\n", res.Workloads, len(bugsim.Catalog))
+	fmt.Printf("  phi(code coverage, detection):         %+.3f   <- the paper's \"weak correlation\"\n", res.PhiCoverage)
+	fmt.Printf("  phi(trigger-partition hit, detection): %+.3f   <- what input coverage measures\n", res.PhiTrigger)
+	fmt.Printf("  covered-but-missed fraction:           %.0f%%    (paper's study: 53%% at line level)\n",
+		100*res.CoveredMissedFraction)
+}

@@ -1,0 +1,84 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation (§4) as aligned text: Figure 2 (open flag input coverage),
+// Table 1 (flag combinations), Figure 3 (write size input coverage),
+// Figure 4 (open output coverage), and Figure 5 (the TCD sweep and its
+// crossover).
+//
+// Usage:
+//
+//	figures [-only 2|3|4|5|t1] [-scale F] [-seed N]
+//
+// -scale 1.0 reproduces the paper's full-run magnitudes (≈10M traced
+// syscalls, takes a minute or two); smaller scales keep the same shapes
+// with proportionally lower frequencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iocov/internal/coverage"
+	"iocov/internal/harness"
+	"iocov/internal/render"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate only one artifact: 2, 3, 4, 5, or t1 (default all)")
+	scale := flag.Float64("scale", 0.1, "workload scale; 1.0 = the paper's full-run magnitudes")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	fmt.Printf("# IOCov evaluation figures (scale %g, seed %d)\n", *scale, *seed)
+	fmt.Printf("# suites: simulated xfstests (706 generic + 308 ext4 tests) and CrashMonkey (seq-1 + generic)\n\n")
+
+	xfs, cm, err := harness.RunBoth(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# xfstests: %d syscalls analyzed; CrashMonkey: %d syscalls analyzed\n\n",
+		xfs.Analyzed(), cm.Analyzed())
+
+	want := func(id string) bool { return *only == "" || *only == id }
+
+	if want("2") {
+		render.Comparison(os.Stdout, "Figure 2: input coverage of open flags", []render.Series{
+			{Name: "CrashMonkey", Report: cm.InputReport("open", "flags")},
+			{Name: "xfstests", Report: xfs.InputReport("open", "flags")},
+		})
+	}
+	if want("t1") {
+		render.ComboTable(os.Stdout, "Table 1: % of opens combining 1-6 flags",
+			[]struct {
+				Name string
+				Rows []coverage.ComboRow
+			}{
+				{Name: "CrashMonkey", Rows: cm.ComboTable(6)},
+				{Name: "xfstests", Rows: xfs.ComboTable(6)},
+			}, 6)
+	}
+	if want("3") {
+		// The paper plots buckets 0..32 plus the zero boundary.
+		trim := func(r *coverage.Report) *coverage.Report { return r.TrimZeroTail(34) }
+		render.Comparison(os.Stdout, "Figure 3: input coverage of write size (bytes, log2 buckets)", []render.Series{
+			{Name: "CrashMonkey", Report: trim(cm.InputReport("write", "count"))},
+			{Name: "xfstests", Report: trim(xfs.InputReport("write", "count"))},
+		})
+	}
+	if want("4") {
+		render.Comparison(os.Stdout, "Figure 4: output coverage of open (success + errnos)", []render.Series{
+			{Name: "CrashMonkey", Report: cm.OutputReport("open")},
+			{Name: "xfstests", Report: xfs.OutputReport("open")},
+		})
+	}
+	if want("5") {
+		render.TCDSweep(os.Stdout, "Figure 5: Test Coverage Deviation for open flags vs uniform target",
+			[2]string{"CrashMonkey", "xfstests"},
+			[2][]int64{
+				cm.InputReport("open", "flags").Frequencies(),
+				xfs.InputReport("open", "flags").Frequencies(),
+			},
+			100_000_000)
+	}
+}

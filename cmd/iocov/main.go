@@ -1,0 +1,516 @@
+// Command iocov is the IOCov CLI: it measures input and output coverage of
+// file-system test suites, either offline from an LTTng-style trace file or
+// live by running one of the simulated suites.
+//
+// Subcommands:
+//
+//	iocov run -suite xfstests|crashmonkey [-scale F] [-seed N] [-trace FILE]
+//	    Run a simulated suite through the pipeline; print coverage. With
+//	    -trace, also write the raw (unfiltered) trace to FILE.
+//
+//	iocov analyze -trace FILE [-mount REGEX]
+//	    Parse a trace file, filter to the mount point, print coverage.
+//
+//	iocov untested -suite NAME | -trace FILE
+//	    Print only the untested input/output partitions — the actionable
+//	    report the paper argues code coverage cannot provide.
+//
+//	iocov tcd -suite NAME [-target N] [-syscall S] [-arg A]
+//	    Print the Test Coverage Deviation against a uniform target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iocov"
+	"iocov/internal/coverage"
+	"iocov/internal/harness"
+	"iocov/internal/kernel"
+	"iocov/internal/metrics"
+	"iocov/internal/partition"
+	"iocov/internal/render"
+	"iocov/internal/sysspec"
+	"iocov/internal/syz"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "untested":
+		err = cmdUntested(os.Args[2:])
+	case "tcd":
+		err = cmdTCD(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "suggest":
+		err = cmdSuggest(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iocov:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: iocov run|analyze|untested|tcd|compare|diff|suggest|convert|spec [flags]")
+	os.Exit(2)
+}
+
+// cmdSpec prints the syscall table IOCov is built on: base syscalls,
+// variants, tracked arguments with their classes and partition schemes, and
+// each syscall's documented errno universe.
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	extended := fs.Bool("extended", false, "include the future-work extended syscalls")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl := sysspec.NewTable()
+	if *extended {
+		tbl = sysspec.NewExtendedTable()
+	}
+	fmt.Printf("%d base syscalls, %d raw syscalls after variant expansion, %d tracked arguments\n\n",
+		len(tbl.Bases()), tbl.VariantCount(), tbl.TrackedArgCount())
+	for _, base := range tbl.Bases() {
+		spec := tbl.Spec(base)
+		fmt.Printf("%s\n", base)
+		fmt.Printf("  variants: %v\n", spec.Variants)
+		for _, arg := range spec.Args {
+			part := partition.ForScheme(arg.Scheme)
+			domain := "identifier (not partitioned)"
+			if part != nil {
+				domain = fmt.Sprintf("%d partitions", len(part.Domain()))
+			}
+			fmt.Printf("  arg %-8s class=%-12s scheme=%-10s %s\n", arg.Name, arg.Class, arg.Scheme, domain)
+		}
+		names := make([]string, len(spec.Errnos))
+		for i, e := range spec.Errnos {
+			names[i] = e.Name()
+		}
+		fmt.Printf("  errnos (%d): %v\n\n", len(names), names)
+	}
+	return nil
+}
+
+// cmdConvert transcodes a trace between the text and binary formats (the
+// input format is auto-detected; the output is the other one unless -to is
+// given), like babeltrace converting CTF streams.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (required)")
+	out := fs.String("out", "", "output trace file (required)")
+	to := fs.String("to", "", "output format: text or binary (default: the opposite of the input)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	head := make([]byte, 4)
+	n, _ := src.Read(head)
+	if _, err := src.Seek(0, 0); err != nil {
+		return err
+	}
+	inBinary := n == 4 && string(head) == "IOCV"
+	outFormat := *to
+	if outFormat == "" {
+		if inBinary {
+			outFormat = "text"
+		} else {
+			outFormat = "binary"
+		}
+	}
+	var next func() (trace.Event, error)
+	if inBinary {
+		next = trace.NewBinaryParser(src).Next
+	} else {
+		next = trace.NewParser(src).Next
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	var sink trace.Sink
+	var flush func() error
+	switch outFormat {
+	case "text":
+		w := trace.NewWriter(dst)
+		sink, flush = w, w.Flush
+	case "binary":
+		w := trace.NewBinaryWriter(dst)
+		sink, flush = w, w.Flush
+	default:
+		return fmt.Errorf("convert: unknown format %q", outFormat)
+	}
+	count := 0
+	for {
+		ev, err := next()
+		if err != nil {
+			if errorsIsEOF(err) {
+				break
+			}
+			return err
+		}
+		sink.Emit(ev)
+		count++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d events to %s\n", count, outFormat)
+	return nil
+}
+
+func errorsIsEOF(err error) bool { return err == io.EOF }
+
+// cmdSuggest runs a suite, finds its untested input partitions, and prints
+// runnable syzkaller-style probe programs targeting them — the feedback
+// loop the paper proposes for improving test suites. With -verify, the
+// probes are executed against the simulated kernel and the coverage
+// improvement is reported.
+func cmdSuggest(args []string) error {
+	fs := flag.NewFlagSet("suggest", flag.ExitOnError)
+	suite := fs.String("suite", harness.SuiteCrashMonkey, "suite to probe")
+	scale := fs.Float64("scale", 0.1, "workload scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	max := fs.Int("max", 0, "maximum probe programs (0 = all)")
+	verify := fs.Bool("verify", false, "execute the probes and report the coverage gain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := harness.Run(*suite, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	progs := syz.Suggest(an, "/mnt/test/probe", *max)
+	fmt.Printf("# %d probe programs for %s's untested input partitions\n\n", len(progs), *suite)
+	for _, p := range progs {
+		fmt.Println(p.Format())
+	}
+	if !*verify {
+		return nil
+	}
+	before := an.InputReport("open", "flags").Covered()
+	k := kernel.New(vfs.New(vfs.DefaultConfig()), kernel.Options{Sink: an})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	for _, d := range []string{"/mnt", "/mnt/test", "/mnt/test/probe"} {
+		_ = p.Mkdir(d, 0o777)
+	}
+	res := syz.Execute(p, progs)
+	fmt.Printf("# verification: %d calls executed (%d failed); open flags covered %d -> %d of %d\n",
+		res.Executed, res.Failures, before,
+		an.InputReport("open", "flags").Covered(),
+		an.InputReport("open", "flags").DomainSize())
+	return nil
+}
+
+// cmdDiff compares two JSON coverage snapshots (produced with run/analyze
+// -json) and reports partitions each covers that the other does not — the
+// CI primitive for catching coverage regressions across suite versions.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	oldFile := fs.String("old", "", "baseline snapshot JSON (required)")
+	newFile := fs.String("new", "", "candidate snapshot JSON (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldFile == "" || *newFile == "" {
+		return fmt.Errorf("diff: -old and -new are required")
+	}
+	load := func(path string) (*coverage.Snapshot, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return coverage.LoadSnapshot(f)
+	}
+	oldSnap, err := load(*oldFile)
+	if err != nil {
+		return err
+	}
+	newSnap, err := load(*newFile)
+	if err != nil {
+		return err
+	}
+	lost := oldSnap.DiffSnapshot(newSnap)
+	gained := newSnap.DiffSnapshot(oldSnap)
+	printDiffs := func(title string, diffs []coverage.SnapshotDiff) {
+		fmt.Printf("%s (%d spaces):\n", title, len(diffs))
+		for _, d := range diffs {
+			space := "output"
+			if d.Arg != "" {
+				space = "input " + d.Arg
+			}
+			fmt.Printf("  %-10s %-16s %v\n", d.Syscall, space, d.OnlyInFirst)
+		}
+		fmt.Println()
+	}
+	printDiffs("coverage LOST (in old, not in new)", lost)
+	printDiffs("coverage GAINED (in new, not in old)", gained)
+	if len(lost) > 0 {
+		os.Exit(1) // regression: fail like a CI gate would
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.1, "workload scale for both suites")
+	seed := fs.Int64("seed", 1, "workload seed")
+	syscall := fs.String("syscall", "open", "syscall to compare")
+	arg := fs.String("arg", "flags", "input argument to compare (\"\" = output space)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	xfs, cm, err := harness.RunBoth(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	pick := func(an *coverage.Analyzer) *coverage.Report {
+		if *arg == "" {
+			return an.OutputReport(*syscall)
+		}
+		return an.InputReport(*syscall, *arg)
+	}
+	xr, cr := pick(xfs), pick(cm)
+	if xr == nil || cr == nil {
+		return fmt.Errorf("compare: no coverage recorded for %s.%s", *syscall, *arg)
+	}
+	title := fmt.Sprintf("%s.%s coverage, CrashMonkey vs xfstests (scale %g)", *syscall, *arg, *scale)
+	render.Comparison(os.Stdout, title, []render.Series{
+		{Name: "CrashMonkey", Report: cr.TrimZeroTail(8)},
+		{Name: "xfstests", Report: xr.TrimZeroTail(8)},
+	})
+	if cross, ok := metrics.Crossover(cr.Frequencies(), xr.Frequencies(), 100_000_000); ok {
+		fmt.Printf("TCD crossover (xfstests overtakes CrashMonkey) at uniform target %d\n", cross)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	suite := fs.String("suite", harness.SuiteCrashMonkey, "suite to run: xfstests or crashmonkey")
+	scale := fs.Float64("scale", 0.1, "workload scale (1.0 = full run)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	traceFile := fs.String("trace", "", "also write the filtered trace to this file")
+	format := fs.String("format", "text", "trace file format: text or binary")
+	asJSON := fs.Bool("json", false, "emit the coverage snapshot as JSON")
+	extended := fs.Bool("extended", false, "analyze with the future-work extended syscall table")
+	combos := fs.Bool("combinations", false, "track distinct bitmap combinations as partitions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := coverage.DefaultOptions()
+	opts.ExtendedSyscalls = *extended
+	opts.TrackCombinations = *combos
+	var sinks []trace.Sink
+	var flush func() error
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		switch *format {
+		case "text":
+			w := trace.NewWriter(f)
+			sinks = append(sinks, w)
+			flush = w.Flush
+		case "binary":
+			w := trace.NewBinaryWriter(f)
+			sinks = append(sinks, w)
+			flush = w.Flush
+		default:
+			return fmt.Errorf("run: unknown format %q", *format)
+		}
+	}
+	an, err := harness.RunWithOptions(*suite, *scale, *seed, opts, sinks...)
+	if err != nil {
+		return err
+	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		return an.Snapshot(0).WriteJSON(os.Stdout)
+	}
+	if *combos {
+		rows := an.Combinations("open", "flags")
+		fmt.Printf("distinct open flag combinations: %d\n", len(rows))
+		for i, row := range rows {
+			if i >= 12 {
+				fmt.Printf("  ... (%d more)\n", len(rows)-12)
+				break
+			}
+			fmt.Printf("  %10d  %s\n", row.Count, row.Label)
+		}
+		fmt.Println()
+	}
+	printCoverageTable(an, *suite, *extended)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "trace file to analyze (required)")
+	mount := fs.String("mount", harness.MountPattern, "mount-point regexp for the trace filter")
+	asJSON := fs.Bool("json", false, "emit the coverage snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traceFile == "" {
+		return fmt.Errorf("analyze: -trace is required")
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	an, kept, dropped, err := iocov.AnalyzeTrace(f, *mount)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return an.Snapshot(0).WriteJSON(os.Stdout)
+	}
+	fmt.Printf("# trace: %d events kept, %d filtered out\n\n", kept, dropped)
+	printCoverage(an, *traceFile)
+	return nil
+}
+
+func printCoverage(an *coverage.Analyzer, source string) {
+	printCoverageTable(an, source, false)
+}
+
+func printCoverageTable(an *coverage.Analyzer, source string, extended bool) {
+	fmt.Printf("Input/output coverage for %s (%d syscalls analyzed, %d out of scope)\n\n",
+		source, an.Analyzed(), an.Skipped())
+	tbl := sysspec.NewTable()
+	if extended {
+		tbl = sysspec.NewExtendedTable()
+	}
+	for _, base := range tbl.Bases() {
+		spec := tbl.Spec(base)
+		for _, arg := range spec.TrackedArgs() {
+			rep := an.InputReport(base, arg.Name)
+			if rep == nil {
+				continue
+			}
+			rep = rep.TrimZeroTail(8)
+			render.Comparison(os.Stdout,
+				fmt.Sprintf("input %s.%s (%s, %s)", base, arg.Name, arg.Class, arg.Scheme),
+				[]render.Series{{Name: source, Report: rep}})
+		}
+		if rep := an.OutputReport(base); rep != nil {
+			rep = rep.TrimZeroTail(8)
+			render.Comparison(os.Stdout, fmt.Sprintf("output %s", base),
+				[]render.Series{{Name: source, Report: rep}})
+		}
+	}
+}
+
+func cmdUntested(args []string) error {
+	fs := flag.NewFlagSet("untested", flag.ExitOnError)
+	suite := fs.String("suite", "", "suite to run")
+	traceFile := fs.String("trace", "", "trace file to analyze instead")
+	scale := fs.Float64("scale", 0.1, "workload scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	mount := fs.String("mount", harness.MountPattern, "mount-point regexp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var an *coverage.Analyzer
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		filter, err := trace.NewFilter(*mount)
+		if err != nil {
+			return err
+		}
+		an = coverage.NewAnalyzer(coverage.DefaultOptions())
+		events, err := trace.ParseAll(f)
+		if err != nil {
+			return err
+		}
+		an.AddAll(filter.Apply(events))
+	case *suite != "":
+		var err error
+		an, err = harness.Run(*suite, *scale, *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("untested: need -suite or -trace")
+	}
+	sums := an.UntestedAll(34)
+	for _, s := range sums {
+		space := "output"
+		if s.Arg != "" {
+			space = "input " + s.Arg
+		}
+		fmt.Printf("%-10s %-16s untested: %v\n", s.Syscall, space, s.Labels)
+	}
+	return nil
+}
+
+func cmdTCD(args []string) error {
+	fs := flag.NewFlagSet("tcd", flag.ExitOnError)
+	suite := fs.String("suite", harness.SuiteCrashMonkey, "suite to run")
+	scale := fs.Float64("scale", 0.1, "workload scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	syscall := fs.String("syscall", "open", "syscall whose argument to score")
+	arg := fs.String("arg", "flags", "argument to score")
+	target := fs.Int64("target", 1000, "uniform per-partition test target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := harness.Run(*suite, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	rep := an.InputReport(*syscall, *arg)
+	if rep == nil {
+		return fmt.Errorf("tcd: no coverage recorded for %s.%s", *syscall, *arg)
+	}
+	freqs := rep.Frequencies()
+	fmt.Printf("TCD(%s.%s, target %d) = %.3f\n", *syscall, *arg, *target,
+		metrics.UniformTCD(freqs, *target))
+	counts := metrics.ClassifyAll(freqs, *target, 10)
+	fmt.Printf("partitions: %d untested, %d under-tested, %d adequate, %d over-tested\n",
+		counts[metrics.Untested], counts[metrics.UnderTested],
+		counts[metrics.Adequate], counts[metrics.OverTested])
+	return nil
+}

@@ -1,0 +1,46 @@
+package iocov
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary end to end. Skipped
+// in -short mode (each example compiles separately).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow to compile; run without -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d examples", len(entries))
+	}
+	// Arguments keeping the slower examples quick.
+	args := map[string][]string{
+		"untested":  {"-scale", "0.02"},
+		"tcdtuning": {"-scale", "0.02"},
+		"fuzzeval":  {"-programs", "50"},
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", append([]string{"run", "./" + filepath.Join("examples", name)}, args[name]...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

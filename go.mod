@@ -1,0 +1,3 @@
+module iocov
+
+go 1.22

@@ -1,0 +1,322 @@
+// Package bugdb encodes the paper's real-world bug study (§2) as a
+// structured dataset plus the aggregation code that recomputes every
+// statistic the paper reports.
+//
+// The study analyzed the latest 100 Git commits of 2022 for each of Ext4
+// and BtrFS (200 commits), identified 70 bug-fix commits (51 Ext4, 19
+// BtrFS), ran xfstests under Gcov, and hand-labelled each bug with: whether
+// xfstests covered the buggy lines/functions/branches, whether it detected
+// the bug, whether the bug is input-dependent and/or output-path-related,
+// and whether a covered-but-missed bug could be triggered by specific
+// syscall arguments.
+//
+// The published aggregates are:
+//
+//	37/70 (53%) line-covered but missed     43/70 (61%) function-covered but missed
+//	20/70 (29%) branch-covered but missed   50/70 (71%) input bugs
+//	41/70 (59%) output bugs                 57/70 (81%) input or output bugs
+//	24/37 (65%) of line-covered-missed bugs triggerable by specific arguments
+//
+// The dataset below is synthesized to satisfy every one of those aggregates
+// simultaneously (the paper's per-bug labels are not public); representative
+// bugs the paper cites by commit are included verbatim.
+package bugdb
+
+import "fmt"
+
+// FS identifies the filesystem a bug belongs to.
+type FS string
+
+// Filesystems in the study.
+const (
+	Ext4  FS = "ext4"
+	BtrFS FS = "btrfs"
+)
+
+// Bug is one bug-fix commit's labels.
+type Bug struct {
+	// ID is a stable identifier ("ext4-001"). Representative bugs carry
+	// the upstream commit prefix in Commit.
+	ID     string
+	FS     FS
+	Commit string
+	Title  string
+
+	// LineCovered/FuncCovered/BranchCovered report whether xfstests
+	// executed the buggy code at each Gcov granularity. Branch coverage
+	// implies line coverage implies function coverage.
+	LineCovered   bool
+	FuncCovered   bool
+	BranchCovered bool
+	// Detected reports whether xfstests actually exposed the bug.
+	Detected bool
+	// InputBug: triggerable only by specific syscall inputs.
+	InputBug bool
+	// OutputBug: occurs on the exit path / affects syscall returns.
+	OutputBug bool
+	// ArgTriggerable: for covered-but-missed bugs, whether specific
+	// syscall arguments (boundary values, corner cases) would trigger it.
+	ArgTriggerable bool
+	// Syscalls lists the trigger syscalls where known.
+	Syscalls []string
+}
+
+// representative bugs the paper cites explicitly.
+var representative = []Bug{
+	{
+		ID: "ext4-xattr-overflow", FS: Ext4, Commit: "67d7d8ad99be",
+		Title:       "ext4: fix use-after-free in ext4_xattr_set_entry (Figure 1: max-size lsetxattr overflows min_offs)",
+		LineCovered: true, FuncCovered: true, BranchCovered: true,
+		Detected: false, InputBug: true, OutputBug: true, ArgTriggerable: true,
+		Syscalls: []string{"lsetxattr"},
+	},
+	{
+		ID: "ext4-fc-replay-oob", FS: Ext4, Commit: "1b45cc5c7b92",
+		Title:       "ext4: fix potential out-of-bound read in ext4_fc_replay_scan",
+		LineCovered: false, FuncCovered: false, BranchCovered: false,
+		Detected: false, InputBug: true, OutputBug: false, ArgTriggerable: false,
+		Syscalls: []string{"write"},
+	},
+	{
+		ID: "ext4-get-branch-errno", FS: Ext4, Commit: "26d75a16af28",
+		Title:       "ext4: fix error code return to user-space in ext4_get_branch",
+		LineCovered: true, FuncCovered: true, BranchCovered: false,
+		Detected: false, InputBug: false, OutputBug: true, ArgTriggerable: false,
+		Syscalls: []string{"read"},
+	},
+	{
+		ID: "ext4-resize-continue", FS: Ext4, Commit: "df3cb754d13d",
+		Title:       "ext4: continue to expand file system when the target size doesn't reach",
+		LineCovered: true, FuncCovered: true, BranchCovered: false,
+		Detected: false, InputBug: true, OutputBug: false, ArgTriggerable: true,
+		Syscalls: []string{"truncate"},
+	},
+	{
+		ID: "btrfs-nowait-enospc", FS: BtrFS, Commit: "a348c8d4f6cf",
+		Title:       "btrfs: fix NOWAIT buffered write returning -ENOSPC",
+		LineCovered: true, FuncCovered: true, BranchCovered: true,
+		Detected: false, InputBug: true, OutputBug: true, ArgTriggerable: true,
+		Syscalls: []string{"write"},
+	},
+	{
+		ID: "xfs-largefile-open", FS: Ext4, Commit: "f3bf67c6c6fe",
+		Title:       "use generic_file_open (O_LARGEFILE handling class; cited as an untested-flag bug)",
+		LineCovered: true, FuncCovered: true, BranchCovered: true,
+		Detected: false, InputBug: true, OutputBug: true, ArgTriggerable: true,
+		Syscalls: []string{"open"},
+	},
+}
+
+// Targets are the aggregate counts the synthesized dataset must satisfy.
+type Targets struct {
+	Total, Ext4, Btrfs                   int
+	LineCovMissed, FuncCovMissed         int
+	BranchCovMissed                      int
+	InputBugs, OutputBugs, InputOrOutput int
+	ArgTriggerableAmongLineCovMissed     int
+}
+
+// PaperTargets returns the published aggregates.
+func PaperTargets() Targets {
+	return Targets{
+		Total: 70, Ext4: 51, Btrfs: 19,
+		LineCovMissed: 37, FuncCovMissed: 43, BranchCovMissed: 20,
+		InputBugs: 50, OutputBugs: 41, InputOrOutput: 57,
+		ArgTriggerableAmongLineCovMissed: 24,
+	}
+}
+
+// Load returns the full 70-bug dataset. The first entries are the
+// representative bugs the paper cites; the remainder are synthesized so
+// that every PaperTargets aggregate holds exactly. Construction is
+// deterministic.
+func Load() []Bug {
+	t := PaperTargets()
+	bugs := append([]Bug(nil), representative...)
+
+	// Count what the representative bugs already contribute.
+	var cur counts
+	for _, b := range bugs {
+		cur.add(b)
+	}
+
+	// Category plan for the remaining bugs. Each category fixes all seven
+	// booleans; the counts are solved by hand against the targets:
+	//
+	//   covered hierarchy: branch ⊆ line ⊆ func (for covered-missed sets)
+	//   func-only covered-missed = 43 − 37 = 6
+	//   line-not-branch covered-missed = 37 − 20 = 17
+	//   branch covered-missed = 20
+	//   uncovered-and-missed = rest (xfstests found none of the studied
+	//   bugs in a way that closes them — detected bugs are those its
+	//   regressions would now catch; the study's detected set is small).
+	type category struct {
+		n                                    int
+		line, fn, branch, det, in, out, argT bool
+	}
+	// Detected bugs: covered at every level, by definition of detection.
+	// The paper's covered-but-missed percentages leave room for detected
+	// bugs; choose 9 detected (70 − 37 line-covered-missed − 24 uncovered
+	// = 9 line-covered detected).
+	plan := []category{
+		// Branch-covered but missed (target 20 incl. representatives).
+		{n: 0, line: true, fn: true, branch: true, det: false, in: true, out: true, argT: true},
+		{n: 0, line: true, fn: true, branch: true, det: false, in: true, out: false, argT: true},
+		{n: 0, line: true, fn: true, branch: true, det: false, in: false, out: true, argT: false},
+		// Line-but-not-branch covered, missed (target 17 incl. reps).
+		{n: 0, line: true, fn: true, branch: false, det: false, in: true, out: true, argT: true},
+		{n: 0, line: true, fn: true, branch: false, det: false, in: true, out: false, argT: true},
+		{n: 0, line: true, fn: true, branch: false, det: false, in: false, out: true, argT: false},
+		{n: 0, line: true, fn: true, branch: false, det: false, in: false, out: false, argT: false},
+		// Function-only covered, missed (6).
+		{n: 0, line: false, fn: true, branch: false, det: false, in: true, out: true, argT: false},
+		// Uncovered and missed.
+		{n: 0, line: false, fn: false, branch: false, det: false, in: true, out: true, argT: false},
+		{n: 0, line: false, fn: false, branch: false, det: false, in: true, out: false, argT: false},
+		{n: 0, line: false, fn: false, branch: false, det: false, in: false, out: true, argT: false},
+		{n: 0, line: false, fn: false, branch: false, det: false, in: false, out: false, argT: false},
+		// Detected (all covered; mostly input/output bugs too).
+		{n: 0, line: true, fn: true, branch: true, det: true, in: true, out: true, argT: false},
+		{n: 0, line: true, fn: true, branch: true, det: true, in: true, out: false, argT: false},
+		{n: 0, line: true, fn: true, branch: true, det: true, in: false, out: false, argT: false},
+	}
+
+	// Solve the remaining counts against the targets. Representative
+	// contributions: line-missed 5, func-missed 5, branch-missed 3,
+	// input 5, output 4, in|out 6, argT∧lineMissed 4, detected 0. The
+	// synthesized remainder must therefore supply: 64 bugs, 32 line-missed
+	// (17 of them branch-covered), 38 func-missed, 20 argT∧lineMissed,
+	// 45 input, 37 output, 13 neither-input-nor-output. Verified exactly
+	// by TestAggregatesMatchPaper.
+	plan[0].n = 9  // branch-covered missed, in+out, argT
+	plan[1].n = 5  // branch-covered missed, in only, argT
+	plan[2].n = 3  // branch-covered missed, out only
+	plan[3].n = 2  // line-not-branch missed, in+out, argT
+	plan[4].n = 4  // line-not-branch missed, in only, argT
+	plan[5].n = 1  // line-not-branch missed, out only
+	plan[6].n = 8  // line-not-branch missed, neither
+	plan[7].n = 6  // func-only covered missed, in+out
+	plan[8].n = 8  // uncovered, in+out
+	plan[9].n = 3  // uncovered, in only
+	plan[10].n = 2 // uncovered, out only
+	plan[11].n = 5 // uncovered, neither
+	plan[12].n = 6 // detected, in+out
+	plan[13].n = 2 // detected, in only
+	plan[14].n = 0 // detected, neither
+
+	syscallPool := [][]string{
+		{"write"}, {"open"}, {"truncate"}, {"setxattr"}, {"lseek"},
+		{"chmod"}, {"mkdir"}, {"read"}, {"open", "write"}, {"getxattr"},
+	}
+	idx := 0
+	for ci, c := range plan {
+		for i := 0; i < c.n; i++ {
+			fs := Ext4
+			// Fill BtrFS up to its 19-bug share (1 representative is
+			// BtrFS), spreading across categories.
+			if cur.btrfs < t.Btrfs && (idx+ci)%4 == 0 {
+				fs = BtrFS
+			}
+			b := Bug{
+				ID:          fmt.Sprintf("%s-%03d", fs, idx),
+				FS:          fs,
+				Title:       fmt.Sprintf("synthesized study bug #%d (category %d)", idx, ci),
+				LineCovered: c.line, FuncCovered: c.fn, BranchCovered: c.branch,
+				Detected: c.det, InputBug: c.in, OutputBug: c.out,
+				ArgTriggerable: c.argT,
+				Syscalls:       syscallPool[idx%len(syscallPool)],
+			}
+			bugs = append(bugs, b)
+			cur.add(b)
+			idx++
+		}
+	}
+	// Top up the BtrFS share with relabels of synthesized Ext4 bugs (FS
+	// does not interact with any other aggregate).
+	for i := len(representative); i < len(bugs) && cur.btrfs < t.Btrfs; i++ {
+		if bugs[i].FS == Ext4 {
+			bugs[i].FS = BtrFS
+			bugs[i].ID = fmt.Sprintf("%s-%03d", BtrFS, i)
+			cur.ext4--
+			cur.btrfs++
+		}
+	}
+	return bugs
+}
+
+type counts struct {
+	total, ext4, btrfs int
+}
+
+func (c *counts) add(b Bug) {
+	c.total++
+	if b.FS == Ext4 {
+		c.ext4++
+	} else {
+		c.btrfs++
+	}
+}
+
+// Aggregates are the recomputed study statistics.
+type Aggregates struct {
+	Total, Ext4, Btrfs int
+
+	LineCovMissed   int
+	FuncCovMissed   int
+	BranchCovMissed int
+
+	InputBugs     int
+	OutputBugs    int
+	InputOrOutput int
+
+	ArgTriggerableAmongLineCovMissed int
+
+	Detected int
+}
+
+// Aggregate recomputes every §2 statistic from a dataset.
+func Aggregate(bugs []Bug) Aggregates {
+	var a Aggregates
+	for _, b := range bugs {
+		a.Total++
+		if b.FS == Ext4 {
+			a.Ext4++
+		} else {
+			a.Btrfs++
+		}
+		missed := !b.Detected
+		if b.LineCovered && missed {
+			a.LineCovMissed++
+			if b.ArgTriggerable {
+				a.ArgTriggerableAmongLineCovMissed++
+			}
+		}
+		if b.FuncCovered && missed {
+			a.FuncCovMissed++
+		}
+		if b.BranchCovered && missed {
+			a.BranchCovMissed++
+		}
+		if b.InputBug {
+			a.InputBugs++
+		}
+		if b.OutputBug {
+			a.OutputBugs++
+		}
+		if b.InputBug || b.OutputBug {
+			a.InputOrOutput++
+		}
+		if b.Detected {
+			a.Detected++
+		}
+	}
+	return a
+}
+
+// Pct formats n/total as the paper's rounded percentage.
+func Pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,141 @@
+package bugdb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregatesMatchPaper(t *testing.T) {
+	bugs := Load()
+	a := Aggregate(bugs)
+	want := PaperTargets()
+
+	if a.Total != want.Total {
+		t.Errorf("total = %d, want %d", a.Total, want.Total)
+	}
+	if a.Ext4 != want.Ext4 {
+		t.Errorf("ext4 = %d, want %d", a.Ext4, want.Ext4)
+	}
+	if a.Btrfs != want.Btrfs {
+		t.Errorf("btrfs = %d, want %d", a.Btrfs, want.Btrfs)
+	}
+	if a.LineCovMissed != want.LineCovMissed {
+		t.Errorf("line-covered-missed = %d, want %d (53%%)", a.LineCovMissed, want.LineCovMissed)
+	}
+	if a.FuncCovMissed != want.FuncCovMissed {
+		t.Errorf("func-covered-missed = %d, want %d (61%%)", a.FuncCovMissed, want.FuncCovMissed)
+	}
+	if a.BranchCovMissed != want.BranchCovMissed {
+		t.Errorf("branch-covered-missed = %d, want %d (29%%)", a.BranchCovMissed, want.BranchCovMissed)
+	}
+	if a.InputBugs != want.InputBugs {
+		t.Errorf("input bugs = %d, want %d (71%%)", a.InputBugs, want.InputBugs)
+	}
+	if a.OutputBugs != want.OutputBugs {
+		t.Errorf("output bugs = %d, want %d (59%%)", a.OutputBugs, want.OutputBugs)
+	}
+	if a.InputOrOutput != want.InputOrOutput {
+		t.Errorf("input-or-output = %d, want %d (81%%)", a.InputOrOutput, want.InputOrOutput)
+	}
+	if a.ArgTriggerableAmongLineCovMissed != want.ArgTriggerableAmongLineCovMissed {
+		t.Errorf("arg-triggerable among covered-missed = %d, want %d (65%%)",
+			a.ArgTriggerableAmongLineCovMissed, want.ArgTriggerableAmongLineCovMissed)
+	}
+}
+
+func TestPaperPercentages(t *testing.T) {
+	a := Aggregate(Load())
+	pct := func(n, d int) float64 { return math.Round(Pct(n, d)) }
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"line-covered-missed", pct(a.LineCovMissed, a.Total), 53},
+		{"func-covered-missed", pct(a.FuncCovMissed, a.Total), 61},
+		{"branch-covered-missed", pct(a.BranchCovMissed, a.Total), 29},
+		{"input bugs", pct(a.InputBugs, a.Total), 71},
+		{"output bugs", pct(a.OutputBugs, a.Total), 59},
+		{"input-or-output", pct(a.InputOrOutput, a.Total), 81},
+		{"arg-triggerable", pct(a.ArgTriggerableAmongLineCovMissed, a.LineCovMissed), 65},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %.0f%%, paper reports %.0f%%", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestCoverageHierarchy(t *testing.T) {
+	// Branch coverage implies line coverage implies function coverage.
+	for _, b := range Load() {
+		if b.BranchCovered && !b.LineCovered {
+			t.Errorf("%s: branch covered but not line covered", b.ID)
+		}
+		if b.LineCovered && !b.FuncCovered {
+			t.Errorf("%s: line covered but not function covered", b.ID)
+		}
+		// Detected bugs must at least be function covered.
+		if b.Detected && !b.FuncCovered {
+			t.Errorf("%s: detected without coverage", b.ID)
+		}
+		// ArgTriggerable only applies to missed bugs in the study.
+		if b.ArgTriggerable && b.Detected {
+			t.Errorf("%s: arg-triggerable yet detected", b.ID)
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, b := range Load() {
+		if seen[b.ID] {
+			t.Errorf("duplicate bug id %s", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestRepresentativeBugsPresent(t *testing.T) {
+	bugs := Load()
+	byID := make(map[string]Bug)
+	for _, b := range bugs {
+		byID[b.ID] = b
+	}
+	fig1, ok := byID["ext4-xattr-overflow"]
+	if !ok {
+		t.Fatal("Figure 1 bug missing from dataset")
+	}
+	// Figure 1's bug is both input- and output-related, covered at every
+	// granularity, and missed.
+	if !fig1.LineCovered || !fig1.FuncCovered || !fig1.BranchCovered {
+		t.Error("Figure 1 bug should be fully covered")
+	}
+	if fig1.Detected {
+		t.Error("Figure 1 bug should be missed by xfstests")
+	}
+	if !fig1.InputBug || !fig1.OutputBug || !fig1.ArgTriggerable {
+		t.Error("Figure 1 bug should be input+output and arg-triggerable")
+	}
+}
+
+func TestDeterministicLoad(t *testing.T) {
+	a, b := Load(), Load()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].FS != b[i].FS {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(37, 70) < 52.8 || Pct(37, 70) > 53 {
+		t.Errorf("Pct(37,70) = %f", Pct(37, 70))
+	}
+	if Pct(1, 0) != 0 {
+		t.Error("Pct with zero denominator should be 0")
+	}
+}

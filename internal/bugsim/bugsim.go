@@ -1,0 +1,185 @@
+// Package bugsim makes the paper's central claim executable: code coverage
+// is weakly correlated with bug detection because many bugs trigger only on
+// specific inputs or outputs.
+//
+// Five real bug classes from the paper's study are injectable into the
+// simulated filesystem (vfs.BugSet). For each, the harness runs a
+// regression-style workload that *covers* the buggy code region (the Gcov
+// line-coverage proxy) yet does not trigger the bug, and then a
+// boundary-value workload derived from IOCov-style untested input
+// partitions that does trigger it. Detection combines a differential check
+// (same ops on a correct twin filesystem, compare outcomes) with the
+// silent-corruption records the injected bugs leave behind.
+package bugsim
+
+import (
+	"fmt"
+
+	"iocov/internal/kernel"
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+// Bug identifies one injectable defect.
+type Bug struct {
+	// ID is a short slug ("xattr-overflow").
+	ID string
+	// Commit is the upstream fix the injection models.
+	Commit string
+	// Description explains the defect.
+	Description string
+	// Region is the modeled kernel code region whose execution stands in
+	// for "the buggy lines were covered" (Gcov line coverage).
+	Region string
+	// BranchRegion, when non-empty, is the guard branch adjacent to the
+	// bug (Gcov branch coverage); covering it still does not imply
+	// triggering the bug, mirroring the study's branch-covered-but-missed
+	// population.
+	BranchRegion string
+	// InputBug/OutputBug classify it per the paper's §2 taxonomy.
+	InputBug  bool
+	OutputBug bool
+
+	enable func(*vfs.BugSet)
+}
+
+// Catalog lists the injectable bugs.
+var Catalog = []Bug{
+	{
+		ID: "xattr-overflow", Commit: "67d7d8ad99be",
+		Description: "setxattr with the maximum allowed size overflows the xattr block bookkeeping (Figure 1)",
+		Region:      "ext4_xattr_ibody_set", BranchRegion: "ext4_xattr_ibody_set:nospc-branch",
+		InputBug: true, OutputBug: true,
+		enable: func(b *vfs.BugSet) { b.XattrSizeOverflow = true },
+	},
+	{
+		ID: "largefile-open", Commit: "f3bf67c6c6fe",
+		Description: "opening a >=2GiB file without O_LARGEFILE succeeds instead of failing with EOVERFLOW",
+		Region:      "generic_file_open", BranchRegion: "generic_file_open:overflow-branch",
+		InputBug: true, OutputBug: true,
+		enable: func(b *vfs.BugSet) { b.LargefileOpen = true },
+	},
+	{
+		ID: "nowait-write-enospc", Commit: "a348c8d4f6cf",
+		Description: "an allocating NOWAIT buffered write returns ENOSPC although space is available",
+		Region:      "btrfs_buffered_write", BranchRegion: "btrfs_buffered_write:nowait-branch",
+		InputBug: true, OutputBug: true,
+		enable: func(b *vfs.BugSet) { b.NowaitWriteENOSPC = true },
+	},
+	{
+		ID: "truncate-expand", Commit: "df3cb754d13d",
+		Description: "expanding truncate to a block-aligned size stops one block short",
+		Region:      "ext4_truncate", BranchRegion: "ext4_truncate:aligned-branch",
+		InputBug: true, OutputBug: false,
+		enable: func(b *vfs.BugSet) { b.TruncateExpandError = true },
+	},
+	{
+		ID: "get-branch-errno", Commit: "26d75a16af28",
+		Description: "reading a bad block returns success with no data instead of EIO",
+		Region:      "ext4_get_branch", BranchRegion: "ext4_get_branch:badblock-branch",
+		InputBug: false, OutputBug: true,
+		enable: func(b *vfs.BugSet) { b.GetBranchErrno = true },
+	},
+}
+
+// ByID returns the catalog entry with the given ID, or nil.
+func ByID(id string) *Bug {
+	for i := range Catalog {
+		if Catalog[i].ID == id {
+			return &Catalog[i]
+		}
+	}
+	return nil
+}
+
+// Outcome reports one workload assessment against one bug.
+type Outcome struct {
+	Bug Bug
+	// RegionCovered: the workload executed the buggy code region (Gcov
+	// function/line coverage; identical in this model since regions are
+	// function-grained).
+	RegionCovered bool
+	// BranchCovered: the workload took the guard branch adjacent to the
+	// bug (Gcov branch coverage).
+	BranchCovered bool
+	// RegionHits counts region executions.
+	RegionHits int64
+	// Detected: the workload exposed the bug, via outcome divergence from
+	// the correct twin or via a consistency-check corruption record.
+	Detected bool
+	// Evidence describes what exposed the bug, when detected.
+	Evidence []string
+}
+
+// Workload is a deterministic op sequence run identically against the buggy
+// filesystem and its correct twin.
+type Workload func(p *kernel.Proc)
+
+// pairRecorder captures (ret, errno) outcomes for differential comparison.
+type pairRecorder struct {
+	outcomes []outcomeRec
+}
+
+type outcomeRec struct {
+	name string
+	ret  int64
+	err  sys.Errno
+}
+
+// Assess runs the workload against a buggy filesystem and a correct twin
+// with identical configuration, comparing every syscall outcome and the
+// final consistency state.
+func Assess(bug Bug, cfg vfs.Config, w Workload) Outcome {
+	buggyCfg := cfg
+	bug.enable(&buggyCfg.Bugs)
+
+	runOne := func(c vfs.Config) (*vfs.FS, *vfs.RegionSet, []outcomeRec) {
+		fs := vfs.New(c)
+		regions := vfs.NewRegionSet()
+		fs.AttachRegions(regions)
+		rec := &pairRecorder{}
+		k := kernel.New(fs, kernel.Options{Sink: recorderSink(rec)})
+		p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+		w(p)
+		return fs, regions, rec.outcomes
+	}
+
+	buggyFS, regions, buggyOut := runOne(buggyCfg)
+	_, _, goodOut := runOne(cfg)
+
+	out := Outcome{
+		Bug:           bug,
+		RegionCovered: regions.Covered(bug.Region),
+		BranchCovered: bug.BranchRegion != "" && regions.Covered(bug.BranchRegion),
+		RegionHits:    regions.Count(bug.Region),
+	}
+	// Differential comparison: same deterministic ops, so streams align
+	// 1:1; any divergence is observable misbehaviour.
+	n := len(buggyOut)
+	if len(goodOut) < n {
+		n = len(goodOut)
+	}
+	for i := 0; i < n; i++ {
+		b, g := buggyOut[i], goodOut[i]
+		if b.err != g.err || (b.err == sys.OK && b.ret != g.ret) {
+			out.Detected = true
+			out.Evidence = append(out.Evidence, fmt.Sprintf(
+				"op %d (%s): buggy ret=%d err=%s, correct ret=%d err=%s",
+				i, b.name, b.ret, b.err, g.ret, g.err))
+		}
+	}
+	for _, c := range buggyFS.CheckConsistency() {
+		out.Detected = true
+		out.Evidence = append(out.Evidence, "consistency: "+c)
+	}
+	return out
+}
+
+// AssessAll runs one workload against every catalog bug.
+func AssessAll(cfg vfs.Config, w Workload) []Outcome {
+	out := make([]Outcome, 0, len(Catalog))
+	for _, b := range Catalog {
+		out = append(out, Assess(b, cfg, w))
+	}
+	return out
+}

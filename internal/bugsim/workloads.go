@@ -1,0 +1,139 @@
+package bugsim
+
+import (
+	"fmt"
+
+	"iocov/internal/kernel"
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+)
+
+// recorderSink adapts pairRecorder to trace.Sink.
+func recorderSink(r *pairRecorder) trace.Sink {
+	return trace.SinkFunc(func(ev trace.Event) {
+		r.outcomes = append(r.outcomes, outcomeRec{name: ev.Name, ret: ev.Ret, err: ev.Err})
+	})
+}
+
+// RegressionWorkload is the xfstests-style workload of the demonstration:
+// it executes every buggy code region — creates, opens, reads, writes,
+// truncates, xattrs — with the ordinary, heavily-tested inputs a regression
+// suite uses. Per the paper's bug study, coverage alone is not enough: none
+// of the catalog bugs trigger under it.
+func RegressionWorkload(p *kernel.Proc) {
+	must := func(e sys.Errno) { _ = e }
+	must(p.Mkdir("/reg", 0o755))
+	for i := 0; i < 8; i++ {
+		f := fmt.Sprintf("/reg/f%d", i)
+		fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR|sys.O_LARGEFILE, 0o644)
+		if e != sys.OK {
+			continue
+		}
+		// Ordinary small writes (allocating, blocking).
+		_, _ = p.Write(fd, make([]byte, 4096))
+		_, _ = p.Write(fd, make([]byte, 100))
+		// Ordinary reads.
+		_, _ = p.Lseek(fd, 0, sys.SEEK_SET)
+		_, _ = p.Read(fd, make([]byte, 1024))
+		// Non-aligned truncates, shrink and grow.
+		must(p.Ftruncate(fd, 1000))
+		must(p.Ftruncate(fd, 5000))
+		// Small xattrs, far from the capacity boundary.
+		must(p.Fsetxattr(fd, "user.reg", make([]byte, 64), 0))
+		buf := make([]byte, 128)
+		_, _ = p.Fgetxattr(fd, "user.reg", buf)
+		// An over-capacity (but not maximum-size) value: the ENOSPC
+		// rejection branch executes — branch coverage, Gcov-green — yet
+		// Figure 1's bug needs the exact maximum size and stays hidden.
+		_ = p.Fsetxattr(fd, "user.big1", make([]byte, 40_000), 0)
+		_ = p.Fsetxattr(fd, "user.big2", make([]byte, 40_000), 0)
+		must(p.Close(fd))
+		// Re-open read-only, the regression staple.
+		fd, e = p.Open(f, sys.O_RDONLY, 0)
+		if e == sys.OK {
+			_, _ = p.Read(fd, buf)
+			must(p.Close(fd))
+		}
+	}
+}
+
+// BoundaryWorkload returns the input-coverage-guided probe for one bug: the
+// boundary-value inputs living in partitions the regression workload leaves
+// untested (maximum sizes, block-aligned lengths, untested flags, fault
+// states).
+func BoundaryWorkload(bugID string) Workload {
+	switch bugID {
+	case "xattr-overflow":
+		return func(p *kernel.Proc) {
+			fd, e := p.Open("/bx", sys.O_CREAT|sys.O_RDWR, 0o644)
+			if e != sys.OK {
+				return
+			}
+			// Walk the setxattr size partitions up to the maximum allowed
+			// value — the 2^16 boundary partition IOCov flags as untested.
+			for _, size := range []int{1 << 12, 1 << 14, 1 << 16} {
+				_ = p.Fsetxattr(fd, "user.a", make([]byte, size), 0)
+				_ = p.Fsetxattr(fd, "user.b", make([]byte, size), 0)
+			}
+			_ = p.Close(fd)
+		}
+	case "largefile-open":
+		return func(p *kernel.Proc) {
+			fd, e := p.Open("/big", sys.O_CREAT|sys.O_RDWR|sys.O_LARGEFILE, 0o644)
+			if e != sys.OK {
+				return
+			}
+			// Cross the 2 GiB boundary partition with a sparse truncate,
+			// then open without O_LARGEFILE — the untested flag case.
+			_ = p.Ftruncate(fd, 1<<31)
+			_ = p.Close(fd)
+			fd, e = p.Open("/big", sys.O_RDONLY, 0)
+			if e == sys.OK {
+				_ = p.Close(fd)
+			}
+		}
+	case "nowait-write-enospc":
+		return func(p *kernel.Proc) {
+			// O_NONBLOCK on a regular file is an untested flag-combination
+			// partition; an allocating write under it hits the NOWAIT path.
+			fd, e := p.Open("/nw", sys.O_CREAT|sys.O_WRONLY|sys.O_NONBLOCK, 0o644)
+			if e != sys.OK {
+				return
+			}
+			_, _ = p.Write(fd, make([]byte, 8192))
+			_ = p.Close(fd)
+		}
+	case "truncate-expand":
+		return func(p *kernel.Proc) {
+			fd, e := p.Open("/te", sys.O_CREAT|sys.O_RDWR, 0o644)
+			if e != sys.OK {
+				return
+			}
+			// Exact powers of two are the partition boundaries; the
+			// block-aligned ones trigger the short expansion.
+			for _, length := range []int64{4096, 8192, 1 << 16, 1 << 20} {
+				_ = p.Ftruncate(fd, 0)
+				_ = p.Ftruncate(fd, length)
+				// Observable divergence: SEEK_END lands short.
+				_, _ = p.Lseek(fd, 0, sys.SEEK_END)
+			}
+			_ = p.Close(fd)
+		}
+	case "get-branch-errno":
+		return func(p *kernel.Proc) {
+			fd, e := p.Open("/bb", sys.O_CREAT|sys.O_RDWR, 0o644)
+			if e != sys.OK {
+				return
+			}
+			_, _ = p.Write(fd, make([]byte, 4096))
+			// Fault campaign: mark the block bad, then exercise the read
+			// exit path IOCov's output coverage flags as untested (EIO).
+			_ = p.FS().MarkBadBlock(p.FS().Root(), p.Cred(), "/bb")
+			_, _ = p.Lseek(fd, 0, sys.SEEK_SET)
+			_, _ = p.Read(fd, make([]byte, 4096))
+			_ = p.Close(fd)
+		}
+	default:
+		return func(*kernel.Proc) {}
+	}
+}

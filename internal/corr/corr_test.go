@@ -1,0 +1,95 @@
+package corr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhi(t *testing.T) {
+	// Perfect correlation.
+	if got := Phi(10, 0, 0, 10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect phi = %f", got)
+	}
+	// Perfect anti-correlation.
+	if got := Phi(0, 10, 10, 0); math.Abs(got+1) > 1e-9 {
+		t.Errorf("anti phi = %f", got)
+	}
+	// Independence.
+	if got := Phi(5, 5, 5, 5); got != 0 {
+		t.Errorf("independent phi = %f", got)
+	}
+	// Degenerate marginals.
+	if got := Phi(10, 5, 0, 0); got != 0 {
+		t.Errorf("degenerate phi = %f", got)
+	}
+}
+
+// TestWeakCodeCoverageCorrelation is the paper's §2 conclusion as an
+// executable assertion: across random workloads and the five injected bug
+// classes, code coverage correlates weakly with detection while hitting the
+// trigger input partition correlates strongly.
+func TestWeakCodeCoverageCorrelation(t *testing.T) {
+	res := Run(Config{Workloads: 120, Seed: 1})
+	t.Log(res)
+	if res.PhiTrigger < 0.8 {
+		t.Errorf("phi(trigger,detect) = %.3f, want strong (>= 0.8)", res.PhiTrigger)
+	}
+	if res.PhiCoverage > 0.3 {
+		t.Errorf("phi(coverage,detect) = %.3f, want weak (<= 0.3)", res.PhiCoverage)
+	}
+	if res.PhiTrigger < res.PhiCoverage+0.4 {
+		t.Errorf("trigger predictor (%.3f) should dominate coverage predictor (%.3f)",
+			res.PhiTrigger, res.PhiCoverage)
+	}
+	// A majority of covered observations miss the bug (the paper's 53%
+	// line-covered-but-missed analogue; exact value depends on trigger
+	// rarity).
+	if res.CoveredMissedFraction < 0.3 {
+		t.Errorf("covered-but-missed = %.2f, expected a substantial fraction", res.CoveredMissedFraction)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(Config{Workloads: 30, Seed: 7})
+	b := Run(Config{Workloads: 30, Seed: 7})
+	if a.PhiCoverage != b.PhiCoverage || a.PhiTrigger != b.PhiTrigger {
+		t.Error("study not deterministic")
+	}
+	if len(a.Observations) != 30*5 {
+		t.Errorf("observations = %d, want 150", len(a.Observations))
+	}
+}
+
+// TestTriggerImpliesDetectionMostly: the sanity direction — when the
+// trigger partition is hit, the bug is almost always detected.
+func TestTriggerImpliesDetectionMostly(t *testing.T) {
+	res := Run(Config{Workloads: 120, Seed: 3})
+	var trig, trigDet int
+	for _, o := range res.Observations {
+		if o.Triggered {
+			trig++
+			if o.Detected {
+				trigDet++
+			}
+		}
+	}
+	if trig == 0 {
+		t.Fatal("no triggering workloads generated")
+	}
+	if float64(trigDet)/float64(trig) < 0.9 {
+		t.Errorf("trigger->detect rate = %d/%d", trigDet, trig)
+	}
+	// And detection without the trigger partition is rare.
+	var noTrig, noTrigDet int
+	for _, o := range res.Observations {
+		if !o.Triggered {
+			noTrig++
+			if o.Detected {
+				noTrigDet++
+			}
+		}
+	}
+	if float64(noTrigDet)/float64(noTrig) > 0.1 {
+		t.Errorf("spurious detections: %d/%d", noTrigDet, noTrig)
+	}
+}

@@ -1,0 +1,376 @@
+// Package coverage implements the IOCov analyzer: it consumes traced
+// syscall events (live, or parsed from a trace file), applies variant
+// merging and input/output partitioning, and produces the per-partition
+// frequency counts behind every figure and table in the paper's evaluation,
+// plus untested-partition reports and the Table 1 flag-combination
+// statistics.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iocov/internal/partition"
+	"iocov/internal/sysspec"
+	"iocov/internal/trace"
+)
+
+// Options configures an Analyzer.
+type Options struct {
+	// MergeVariants folds syscall variants into their base syscall
+	// (openat -> open). The paper's IOCov always merges; disabling it is
+	// the ablation knob.
+	MergeVariants bool
+	// TrackIdentifiers additionally counts distinct identifier-argument
+	// values (paths, fds), a first cut of the paper's future-work item.
+	TrackIdentifiers bool
+	// IdentifierCap bounds the distinct identifier values retained per
+	// argument (0 means 65536); beyond it only the cardinality grows.
+	IdentifierCap int
+	// TrackCombinations treats each distinct bitmap value (full flag
+	// combination) as its own partition, the paper's future-work metric
+	// enhancement ("support bit combinations").
+	TrackCombinations bool
+	// CombinationCap bounds the distinct combinations retained per
+	// argument (0 means 4096).
+	CombinationCap int
+	// ExtendedSyscalls augments the 27-syscall table with the ten
+	// future-work syscalls (unlink, rename, fsync, stat, ...).
+	ExtendedSyscalls bool
+}
+
+// DefaultOptions returns the paper's configuration: variant merging on,
+// identifier tracking off.
+func DefaultOptions() Options { return Options{MergeVariants: true} }
+
+// Analyzer accumulates input and output coverage. It implements trace.Sink,
+// so it can sit directly behind the kernel or a trace filter. Not safe for
+// concurrent use; run one analyzer per pipeline.
+type Analyzer struct {
+	table *sysspec.Table
+	opts  Options
+
+	inputs    map[argKey]*ArgCounter
+	outputs   map[string]*OutputCounter
+	idents    map[argKey]*identCounter
+	combos    ComboStats
+	bitCombos map[argKey]map[string]int64
+
+	analyzed int64
+	skipped  int64
+}
+
+type argKey struct {
+	syscall string // base name, or raw name when merging is disabled
+	arg     string
+}
+
+// ArgCounter holds the per-partition frequencies for one tracked argument.
+type ArgCounter struct {
+	// Syscall is the (merged) syscall name.
+	Syscall string
+	// Arg is the argument name from the spec.
+	Arg string
+	// Class is the paper's argument class.
+	Class sysspec.ArgClass
+	// Scheme names the partitioning scheme.
+	Scheme string
+	// Counts maps partition label to observed frequency.
+	Counts map[string]int64
+
+	part partition.Input
+}
+
+// OutputCounter holds per-partition output frequencies for one syscall.
+type OutputCounter struct {
+	// Syscall is the (merged) syscall name.
+	Syscall string
+	// Counts maps output partition label to frequency.
+	Counts map[string]int64
+
+	spec *sysspec.Spec
+}
+
+// identCounter tracks distinct identifier values (future-work extension).
+type identCounter struct {
+	values map[string]int64
+	card   int64
+	cap    int
+}
+
+// ComboStats is the Table 1 raw data: how many open calls combined k flags,
+// over all calls and over calls whose access mode is O_RDONLY.
+type ComboStats struct {
+	// All[k] counts opens using exactly k flags together.
+	All map[int]int64
+	// Rdonly[k] restricts All to opens whose access mode is O_RDONLY.
+	Rdonly map[int]int64
+}
+
+// NewAnalyzer builds an analyzer over the standard syscall table (or the
+// extended one, with Options.ExtendedSyscalls).
+func NewAnalyzer(opts Options) *Analyzer {
+	if opts.IdentifierCap <= 0 {
+		opts.IdentifierCap = 65536
+	}
+	if opts.CombinationCap <= 0 {
+		opts.CombinationCap = 4096
+	}
+	table := sysspec.NewTable()
+	if opts.ExtendedSyscalls {
+		table = sysspec.NewExtendedTable()
+	}
+	return &Analyzer{
+		table:     table,
+		opts:      opts,
+		inputs:    make(map[argKey]*ArgCounter),
+		outputs:   make(map[string]*OutputCounter),
+		idents:    make(map[argKey]*identCounter),
+		combos:    ComboStats{All: make(map[int]int64), Rdonly: make(map[int]int64)},
+		bitCombos: make(map[argKey]map[string]int64),
+	}
+}
+
+// Emit implements trace.Sink.
+func (a *Analyzer) Emit(ev trace.Event) { a.Add(ev) }
+
+// Add analyzes one event. Events for syscalls outside the 27-syscall scope
+// are counted as skipped and otherwise ignored.
+func (a *Analyzer) Add(ev trace.Event) {
+	spec := a.table.Base(ev.Name)
+	if spec == nil {
+		a.skipped++
+		return
+	}
+	a.analyzed++
+	name := spec.Base
+	if !a.opts.MergeVariants {
+		name = ev.Name
+	}
+
+	for i := range spec.Args {
+		arg := &spec.Args[i]
+		if !arg.ArgAppliesTo(ev.Name) {
+			continue
+		}
+		if arg.Class == sysspec.Identifier {
+			if a.opts.TrackIdentifiers {
+				a.addIdentifier(name, arg, ev)
+			}
+			continue
+		}
+		v, ok := ev.Arg(arg.Key)
+		if !ok {
+			continue
+		}
+		c := a.argCounter(name, arg)
+		labels := c.part.Partitions(v)
+		for _, label := range labels {
+			c.Counts[label]++
+		}
+		if a.opts.TrackCombinations && arg.Class == sysspec.Bitmap {
+			a.addCombination(argKey{name, arg.Name}, labels)
+		}
+	}
+
+	// Flag-combination statistics for the open family.
+	if spec.Base == "open" {
+		if flags, ok := ev.Arg("flags"); ok {
+			k := partition.FlagComboSize(flags)
+			a.combos.All[k]++
+			if partition.HasRdonly(flags) {
+				a.combos.Rdonly[k]++
+			}
+		}
+	}
+
+	oc := a.outputs[name]
+	if oc == nil {
+		oc = &OutputCounter{Syscall: name, Counts: make(map[string]int64), spec: spec}
+		a.outputs[name] = oc
+	}
+	oc.Counts[partition.Output(spec.Ret, ev.Ret, ev.Err)]++
+}
+
+// AddAll analyzes a slice of events.
+func (a *Analyzer) AddAll(events []trace.Event) {
+	for _, ev := range events {
+		a.Add(ev)
+	}
+}
+
+func (a *Analyzer) argCounter(name string, arg *sysspec.ArgSpec) *ArgCounter {
+	k := argKey{name, arg.Name}
+	c := a.inputs[k]
+	if c == nil {
+		c = &ArgCounter{
+			Syscall: name,
+			Arg:     arg.Name,
+			Class:   arg.Class,
+			Scheme:  arg.Scheme,
+			Counts:  make(map[string]int64),
+			part:    partition.ForScheme(arg.Scheme),
+		}
+		a.inputs[k] = c
+	}
+	return c
+}
+
+func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Event) {
+	k := argKey{name, arg.Name}
+	c := a.idents[k]
+	if c == nil {
+		c = &identCounter{values: make(map[string]int64), cap: a.opts.IdentifierCap}
+		a.idents[k] = c
+	}
+	var v string
+	if s, ok := ev.Str(arg.Key); ok {
+		v = s
+	} else if n, ok := ev.Arg(arg.Key); ok {
+		v = fmt.Sprintf("%d", n)
+	} else {
+		return
+	}
+	if _, seen := c.values[v]; seen {
+		c.values[v]++
+		return
+	}
+	c.card++
+	if len(c.values) < c.cap {
+		c.values[v] = 1
+	}
+}
+
+// addCombination counts a full bitmap combination as its own partition
+// (future-work metric: bit combinations). The label is the joined flag
+// names, e.g. "O_RDWR|O_CREAT|O_TRUNC".
+func (a *Analyzer) addCombination(k argKey, labels []string) {
+	m := a.bitCombos[k]
+	if m == nil {
+		m = make(map[string]int64)
+		a.bitCombos[k] = m
+	}
+	label := strings.Join(labels, "|")
+	if _, seen := m[label]; !seen && len(m) >= a.opts.CombinationCap {
+		return
+	}
+	m[label]++
+}
+
+// Combinations returns the distinct bitmap-combination counts recorded for
+// an argument (nil unless TrackCombinations was set), sorted by descending
+// frequency then label.
+func (a *Analyzer) Combinations(syscall, arg string) []Row {
+	m := a.bitCombos[argKey{syscall, arg}]
+	if m == nil {
+		return nil
+	}
+	rows := make([]Row, 0, len(m))
+	for label, n := range m {
+		rows = append(rows, Row{Label: label, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}
+
+// DistinctCombinations returns how many distinct bitmap combinations were
+// observed for an argument.
+func (a *Analyzer) DistinctCombinations(syscall, arg string) int {
+	return len(a.bitCombos[argKey{syscall, arg}])
+}
+
+// Analyzed returns the number of in-scope events processed.
+func (a *Analyzer) Analyzed() int64 { return a.analyzed }
+
+// Skipped returns the number of out-of-scope events ignored.
+func (a *Analyzer) Skipped() int64 { return a.skipped }
+
+// Combos returns the flag-combination statistics (Table 1 raw data).
+func (a *Analyzer) Combos() ComboStats { return a.combos }
+
+// IdentifierCardinality returns the number of distinct values observed for
+// an identifier argument (0 unless TrackIdentifiers was set).
+func (a *Analyzer) IdentifierCardinality(syscall, arg string) int64 {
+	c := a.idents[argKey{syscall, arg}]
+	if c == nil {
+		return 0
+	}
+	return c.card
+}
+
+// Syscalls returns the syscall names with any recorded coverage, sorted.
+func (a *Analyzer) Syscalls() []string {
+	seen := make(map[string]bool)
+	for k := range a.inputs {
+		seen[k.syscall] = true
+	}
+	for name := range a.outputs {
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Input returns the counter for one argument, or nil when nothing was
+// recorded for it.
+func (a *Analyzer) Input(syscall, arg string) *ArgCounter {
+	return a.inputs[argKey{syscall, arg}]
+}
+
+// Output returns the output counter for a syscall, or nil.
+func (a *Analyzer) Output(syscall string) *OutputCounter {
+	return a.outputs[syscall]
+}
+
+// Count returns the frequency of one input partition (0 when untested).
+func (c *ArgCounter) Count(label string) int64 { return c.Counts[label] }
+
+// Domain returns the argument's full partition domain.
+func (c *ArgCounter) Domain() []string { return c.part.Domain() }
+
+// Total returns the sum of all partition counts.
+func (c *ArgCounter) Total() int64 {
+	var t int64
+	for _, n := range c.Counts {
+		t += n
+	}
+	return t
+}
+
+// Count returns the frequency of one output partition.
+func (c *OutputCounter) Count(label string) int64 { return c.Counts[label] }
+
+// Domain returns the syscall's full output partition domain.
+func (c *OutputCounter) Domain() []string { return partition.OutputDomain(c.spec) }
+
+// SuccessCount sums the success partitions.
+func (c *OutputCounter) SuccessCount() int64 {
+	var t int64
+	for label, n := range c.Counts {
+		if partition.IsSuccess(label) {
+			t += n
+		}
+	}
+	return t
+}
+
+// ErrorCount sums the failure partitions.
+func (c *OutputCounter) ErrorCount() int64 {
+	var t int64
+	for label, n := range c.Counts {
+		if !partition.IsSuccess(label) {
+			t += n
+		}
+	}
+	return t
+}

@@ -1,0 +1,299 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+)
+
+func openEvent(flags, mode int64, ret int64, err sys.Errno) trace.Event {
+	return trace.Event{
+		Name: "open", Path: "/f", PID: 1,
+		Strs: map[string]string{"filename": "/f"},
+		Args: map[string]int64{"flags": flags, "mode": mode},
+		Ret:  ret, Err: err,
+	}
+}
+
+func writeEvent(count int64, ret int64, err sys.Errno) trace.Event {
+	return trace.Event{
+		Name: "write", PID: 1,
+		Args: map[string]int64{"fd": 3, "count": count},
+		Ret:  ret, Err: err,
+	}
+}
+
+func TestInputCoverageOpenFlags(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(0, 0, 3, sys.OK))                                             // O_RDONLY
+	a.Add(openEvent(int64(sys.O_WRONLY|sys.O_CREAT), 0o644, 4, sys.OK))           // 2 flags
+	a.Add(openEvent(int64(sys.O_RDWR|sys.O_CREAT|sys.O_TRUNC), 0o644, 5, sys.OK)) // 3 flags
+	c := a.Input("open", "flags")
+	if c == nil {
+		t.Fatal("no open flags coverage")
+	}
+	if c.Count("O_RDONLY") != 1 || c.Count("O_CREAT") != 2 || c.Count("O_TRUNC") != 1 {
+		t.Errorf("counts = %v", c.Counts)
+	}
+	if c.Count("O_SYNC") != 0 {
+		t.Errorf("O_SYNC = %d, want 0", c.Count("O_SYNC"))
+	}
+	rep := a.InputReport("open", "flags")
+	if rep.DomainSize() != 20 {
+		t.Errorf("domain = %d", rep.DomainSize())
+	}
+	if rep.Covered() != 6 { // O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC... count: RDONLY,WRONLY,CREAT,RDWR,TRUNC = 5
+		// O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC = 5 covered
+		if rep.Covered() != 5 {
+			t.Errorf("covered = %d, want 5", rep.Covered())
+		}
+	}
+	untested := rep.Untested()
+	for _, label := range untested {
+		if label == "O_CREAT" {
+			t.Error("O_CREAT reported untested")
+		}
+	}
+}
+
+func TestVariantMerging(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(trace.Event{Name: "openat", Path: "/f", PID: 1,
+		Args: map[string]int64{"dfd": -100, "flags": 0, "mode": 0}, Ret: 3})
+	a.Add(trace.Event{Name: "creat", Path: "/f", PID: 1,
+		Args: map[string]int64{"mode": 0o644}, Ret: 4})
+	a.Add(openEvent(0, 0, 5, sys.OK))
+	c := a.Input("open", "flags")
+	// creat has no flags argument, so only openat + open contribute.
+	if c.Count("O_RDONLY") != 2 {
+		t.Errorf("merged O_RDONLY = %d, want 2", c.Count("O_RDONLY"))
+	}
+	// But all three land in open's output space.
+	oc := a.Output("open")
+	if oc.Count("OK") != 3 {
+		t.Errorf("merged OK = %d, want 3", oc.Count("OK"))
+	}
+}
+
+func TestMergingDisabled(t *testing.T) {
+	a := NewAnalyzer(Options{MergeVariants: false})
+	a.Add(trace.Event{Name: "openat", Path: "/f", PID: 1,
+		Args: map[string]int64{"flags": 0, "mode": 0}, Ret: 3})
+	a.Add(openEvent(0, 0, 4, sys.OK))
+	if a.Output("open").Count("OK") != 1 {
+		t.Errorf("open OK = %d, want 1", a.Output("open").Count("OK"))
+	}
+	if a.Output("openat").Count("OK") != 1 {
+		t.Errorf("openat OK = %d, want 1", a.Output("openat").Count("OK"))
+	}
+}
+
+func TestWriteSizePartitions(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(writeEvent(0, 0, sys.OK))
+	a.Add(writeEvent(1, 1, sys.OK))
+	a.Add(writeEvent(1024, 1024, sys.OK))
+	a.Add(writeEvent(2000, 2000, sys.OK))
+	a.Add(writeEvent(1<<28, 1<<28, sys.OK))
+	c := a.Input("write", "count")
+	if c.Count("=0") != 1 || c.Count("2^0") != 1 || c.Count("2^10") != 2 || c.Count("2^28") != 1 {
+		t.Errorf("counts = %v", c.Counts)
+	}
+}
+
+func TestOutputCoverage(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(0, 0, 3, sys.OK))
+	a.Add(openEvent(0, 0, -2, sys.ENOENT))
+	a.Add(openEvent(0, 0, -13, sys.EACCES))
+	a.Add(openEvent(0, 0, -2, sys.ENOENT))
+	oc := a.Output("open")
+	if oc.Count("OK") != 1 || oc.Count("ENOENT") != 2 || oc.Count("EACCES") != 1 {
+		t.Errorf("output counts = %v", oc.Counts)
+	}
+	if oc.SuccessCount() != 1 || oc.ErrorCount() != 3 {
+		t.Errorf("success/error = %d/%d", oc.SuccessCount(), oc.ErrorCount())
+	}
+	rep := a.OutputReport("open")
+	if rep.DomainSize() != 28 {
+		t.Errorf("output domain = %d", rep.DomainSize())
+	}
+	if got := len(rep.Untested()); got != 25 {
+		t.Errorf("untested outputs = %d, want 25", got)
+	}
+}
+
+func TestWriteOutputByteBuckets(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(writeEvent(4096, 4096, sys.OK))
+	a.Add(writeEvent(10, 10, sys.OK))
+	a.Add(writeEvent(10, 0, sys.ENOSPC))
+	oc := a.Output("write")
+	if oc.Count("OK:2^12") != 1 || oc.Count("OK:2^3") != 1 || oc.Count("ENOSPC") != 1 {
+		t.Errorf("write output = %v", oc.Counts)
+	}
+}
+
+func TestExtraErrnoOutsideManPage(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	// read's man page does not document ENOSPC; the analyzer must surface
+	// it as an extra partition, not lose it.
+	a.Add(trace.Event{Name: "read", PID: 1,
+		Args: map[string]int64{"fd": 3, "count": 10},
+		Ret:  -int64(sys.ENOSPC), Err: sys.ENOSPC})
+	rep := a.OutputReport("read")
+	if len(rep.Extra) != 1 || rep.Extra[0].Label != "ENOSPC" {
+		t.Errorf("extra = %v", rep.Extra)
+	}
+}
+
+func TestComboStats(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(0, 0, 3, sys.OK))                                   // 1 flag, rdonly
+	a.Add(openEvent(int64(sys.O_WRONLY|sys.O_CREAT), 0o644, 4, sys.OK)) // 2 flags
+	a.Add(openEvent(int64(sys.O_CREAT|sys.O_TRUNC), 0o644, 5, sys.OK))  // 3 flags w/ rdonly
+	a.Add(openEvent(int64(sys.O_CREAT|sys.O_TRUNC), 0o644, 6, sys.OK))  // again
+	combos := a.Combos()
+	if combos.All[1] != 1 || combos.All[2] != 1 || combos.All[3] != 2 {
+		t.Errorf("all combos = %v", combos.All)
+	}
+	if combos.Rdonly[1] != 1 || combos.Rdonly[3] != 2 || combos.Rdonly[2] != 0 {
+		t.Errorf("rdonly combos = %v", combos.Rdonly)
+	}
+	rows := a.ComboTable(6)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Pct[0] != 25 || rows[0].Pct[2] != 50 {
+		t.Errorf("all pct = %v", rows[0].Pct)
+	}
+	if a.MaxComboSize() != 3 {
+		t.Errorf("max combo = %d", a.MaxComboSize())
+	}
+}
+
+func TestSkippedOutOfScope(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(trace.Event{Name: "unlink", Path: "/f", PID: 1})
+	a.Add(trace.Event{Name: "fsync", PID: 1, Args: map[string]int64{"fd": 3}})
+	a.Add(openEvent(0, 0, 3, sys.OK))
+	if a.Analyzed() != 1 || a.Skipped() != 2 {
+		t.Errorf("analyzed/skipped = %d/%d", a.Analyzed(), a.Skipped())
+	}
+}
+
+func TestPreadOffsetOnlyForPread(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	// A plain read event carrying a "pos" key by accident must not count,
+	// because the spec restricts the pos argument to pread64.
+	a.Add(trace.Event{Name: "read", PID: 1,
+		Args: map[string]int64{"fd": 3, "count": 10, "pos": 5}, Ret: 10})
+	if c := a.Input("read", "pos"); c != nil {
+		t.Errorf("read pos counted: %v", c.Counts)
+	}
+	a.Add(trace.Event{Name: "pread64", PID: 1,
+		Args: map[string]int64{"fd": 3, "count": 10, "pos": 5}, Ret: 10})
+	c := a.Input("read", "pos")
+	if c == nil || c.Count("2^2") != 1 {
+		t.Errorf("pread pos missing: %+v", c)
+	}
+}
+
+func TestLseekWhenceCoverage(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	for w := int64(0); w < 3; w++ {
+		a.Add(trace.Event{Name: "lseek", PID: 1,
+			Args: map[string]int64{"fd": 3, "offset": 0, "whence": w}, Ret: 0})
+	}
+	rep := a.InputReport("lseek", "whence")
+	if rep.Covered() != 3 {
+		t.Errorf("whence covered = %d, want 3", rep.Covered())
+	}
+	want := []string{"SEEK_DATA", "SEEK_HOLE", "invalid"}
+	if !reflect.DeepEqual(rep.Untested(), want) {
+		t.Errorf("untested = %v, want %v", rep.Untested(), want)
+	}
+}
+
+func TestIdentifierTracking(t *testing.T) {
+	a := NewAnalyzer(Options{MergeVariants: true, TrackIdentifiers: true})
+	a.Add(openEvent(0, 0, 3, sys.OK))
+	a.Add(openEvent(0, 0, 4, sys.OK)) // same path
+	a.Add(trace.Event{Name: "open", Path: "/g", PID: 1,
+		Strs: map[string]string{"filename": "/g"},
+		Args: map[string]int64{"flags": 0, "mode": 0}, Ret: 5})
+	if got := a.IdentifierCardinality("open", "filename"); got != 2 {
+		t.Errorf("distinct paths = %d, want 2", got)
+	}
+	// fd identifiers on read.
+	a.Add(trace.Event{Name: "read", PID: 1, Args: map[string]int64{"fd": 3, "count": 1}, Ret: 1})
+	a.Add(trace.Event{Name: "read", PID: 1, Args: map[string]int64{"fd": 4, "count": 1}, Ret: 1})
+	if got := a.IdentifierCardinality("read", "fd"); got != 2 {
+		t.Errorf("distinct fds = %d, want 2", got)
+	}
+}
+
+func TestUntestedAll(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(0, 0, 3, sys.OK))
+	sums := a.UntestedAll(34)
+	if len(sums) == 0 {
+		t.Fatal("no untested summaries")
+	}
+	var foundFlags bool
+	for _, s := range sums {
+		if s.Syscall == "open" && s.Arg == "flags" {
+			foundFlags = true
+			if len(s.Labels) != 19 { // 20 flags - O_RDONLY
+				t.Errorf("open flags untested = %d, want 19", len(s.Labels))
+			}
+		}
+	}
+	if !foundFlags {
+		t.Error("open flags missing from summary")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(writeEvent(8, 8, sys.OK))
+	rep := a.InputReport("write", "count")
+	if rep.Fraction() <= 0 || rep.Fraction() >= 1 {
+		t.Errorf("fraction = %f", rep.Fraction())
+	}
+	if rep.MaxCount() != 1 {
+		t.Errorf("max = %d", rep.MaxCount())
+	}
+	trimmed := rep.TrimZeroTail(2)
+	// write count domain: =0, 2^0..2^63. Bucket 2^3 is index 4 → 5 rows.
+	if len(trimmed.Rows) != 5 {
+		t.Errorf("trimmed rows = %d, want 5", len(trimmed.Rows))
+	}
+	freqs := rep.Frequencies()
+	labels := rep.Labels()
+	if len(freqs) != len(labels) || len(freqs) != rep.DomainSize() {
+		t.Error("frequencies/labels length mismatch")
+	}
+}
+
+func TestAnalyzerAsSink(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	var sink trace.Sink = a
+	sink.Emit(openEvent(0, 0, 3, sys.OK))
+	if a.Analyzed() != 1 {
+		t.Error("Emit did not analyze")
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.AddAll([]trace.Event{openEvent(0, 0, 3, sys.OK), writeEvent(1, 1, sys.OK)})
+	if a.Analyzed() != 2 {
+		t.Errorf("analyzed = %d", a.Analyzed())
+	}
+	if got := a.Syscalls(); !reflect.DeepEqual(got, []string{"open", "write"}) {
+		t.Errorf("syscalls = %v", got)
+	}
+}

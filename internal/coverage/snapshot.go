@@ -1,0 +1,173 @@
+package coverage
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a serializable view of an analyzer's complete state, for
+// machine consumption (CI dashboards, longitudinal tracking of a test
+// suite's coverage across releases).
+type Snapshot struct {
+	// Analyzed and Skipped are the event totals.
+	Analyzed int64 `json:"analyzed"`
+	Skipped  int64 `json:"skipped"`
+	// Inputs holds one entry per observed (syscall, argument).
+	Inputs []SnapshotSpace `json:"inputs"`
+	// Outputs holds one entry per observed syscall output space.
+	Outputs []SnapshotSpace `json:"outputs"`
+	// OpenCombos is the Table 1 raw data, when opens were observed.
+	OpenCombos *SnapshotCombos `json:"open_combos,omitempty"`
+}
+
+// SnapshotSpace is one coverage space: its identity, domain size, covered
+// count, per-partition frequencies, and untested partitions.
+type SnapshotSpace struct {
+	Syscall  string           `json:"syscall"`
+	Arg      string           `json:"arg,omitempty"`
+	Class    string           `json:"class,omitempty"`
+	Domain   int              `json:"domain"`
+	Covered  int              `json:"covered"`
+	Counts   map[string]int64 `json:"counts"`
+	Untested []string         `json:"untested,omitempty"`
+	Extra    map[string]int64 `json:"extra,omitempty"`
+}
+
+// SnapshotCombos serializes the flag-combination statistics.
+type SnapshotCombos struct {
+	All    map[int]int64 `json:"all"`
+	Rdonly map[int]int64 `json:"rdonly"`
+}
+
+// Snapshot builds the serializable view. Numeric domains are truncated to
+// maxNumeric partitions (0 means 34, the Figure 3 window).
+func (a *Analyzer) Snapshot(maxNumeric int) *Snapshot {
+	if maxNumeric <= 0 {
+		maxNumeric = 34
+	}
+	s := &Snapshot{Analyzed: a.analyzed, Skipped: a.skipped}
+	for _, name := range a.Syscalls() {
+		spec := a.table.Spec(baseOf(a, name))
+		if spec == nil {
+			continue
+		}
+		for _, arg := range spec.TrackedArgs() {
+			rep := a.InputReport(name, arg.Name)
+			if rep == nil {
+				continue
+			}
+			rep = trimNumericDomain(rep, arg.Scheme, maxNumeric)
+			s.Inputs = append(s.Inputs, snapshotSpace(rep, arg.Class.String()))
+		}
+		if rep := a.OutputReport(name); rep != nil {
+			rep = trimNumericDomain(rep, "", maxNumeric)
+			s.Outputs = append(s.Outputs, snapshotSpace(rep, ""))
+		}
+	}
+	if len(a.combos.All) > 0 {
+		s.OpenCombos = &SnapshotCombos{All: a.combos.All, Rdonly: a.combos.Rdonly}
+	}
+	return s
+}
+
+func snapshotSpace(rep *Report, class string) SnapshotSpace {
+	sp := SnapshotSpace{
+		Syscall: rep.Syscall,
+		Arg:     rep.Arg,
+		Class:   class,
+		Domain:  rep.DomainSize(),
+		Covered: rep.Covered(),
+		Counts:  make(map[string]int64),
+	}
+	for _, row := range rep.Rows {
+		if row.Count > 0 {
+			sp.Counts[row.Label] = row.Count
+		}
+	}
+	sp.Untested = rep.Untested()
+	if len(rep.Extra) > 0 {
+		sp.Extra = make(map[string]int64, len(rep.Extra))
+		for _, row := range rep.Extra {
+			sp.Extra[row.Label] = row.Count
+		}
+	}
+	return sp
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSnapshot reads a snapshot back from JSON.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Space finds a space by syscall and arg ("" for output), or nil.
+func (s *Snapshot) Space(syscall, arg string) *SnapshotSpace {
+	pool := s.Inputs
+	if arg == "" {
+		pool = s.Outputs
+	}
+	for i := range pool {
+		if pool[i].Syscall == syscall && pool[i].Arg == arg {
+			return &pool[i]
+		}
+	}
+	return nil
+}
+
+// DiffSnapshot reports the partitions covered by s but not by other — the
+// regression-tracking primitive ("this release stopped testing O_SYNC").
+func (s *Snapshot) DiffSnapshot(other *Snapshot) []SnapshotDiff {
+	var out []SnapshotDiff
+	diffPool := func(a, b []SnapshotSpace, isOutput bool) {
+		for i := range a {
+			sp := &a[i]
+			var ob *SnapshotSpace
+			arg := sp.Arg
+			if isOutput {
+				arg = ""
+			}
+			ob = (&Snapshot{Inputs: b, Outputs: b}).Space(sp.Syscall, arg)
+			var lost []string
+			for label := range sp.Counts {
+				if ob == nil || ob.Counts[label] == 0 {
+					lost = append(lost, label)
+				}
+			}
+			if len(lost) > 0 {
+				out = append(out, SnapshotDiff{
+					Syscall: sp.Syscall, Arg: sp.Arg, OnlyInFirst: sortedCopy(lost),
+				})
+			}
+		}
+	}
+	diffPool(s.Inputs, other.Inputs, false)
+	diffPool(s.Outputs, other.Outputs, true)
+	return out
+}
+
+// SnapshotDiff lists partitions one snapshot covers that the other misses.
+type SnapshotDiff struct {
+	Syscall     string   `json:"syscall"`
+	Arg         string   `json:"arg,omitempty"`
+	OnlyInFirst []string `json:"only_in_first"`
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

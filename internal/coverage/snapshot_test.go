@@ -1,0 +1,132 @@
+package coverage
+
+import (
+	"bytes"
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func snapshotFixture(t *testing.T) *Snapshot {
+	t.Helper()
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(int64(sys.O_RDWR|sys.O_CREAT), 0o644, 3, sys.OK))
+	a.Add(openEvent(0, 0, -2, sys.ENOENT))
+	a.Add(writeEvent(4096, 4096, sys.OK))
+	return a.Snapshot(0)
+}
+
+func TestSnapshotContents(t *testing.T) {
+	s := snapshotFixture(t)
+	if s.Analyzed != 3 {
+		t.Errorf("analyzed = %d", s.Analyzed)
+	}
+	flags := s.Space("open", "flags")
+	if flags == nil {
+		t.Fatal("open.flags space missing")
+	}
+	if flags.Counts["O_CREAT"] != 1 || flags.Counts["O_RDONLY"] != 1 {
+		t.Errorf("flag counts = %v", flags.Counts)
+	}
+	if flags.Covered != 3 || flags.Domain != 20 {
+		t.Errorf("covered/domain = %d/%d", flags.Covered, flags.Domain)
+	}
+	out := s.Space("open", "")
+	if out == nil || out.Counts["ENOENT"] != 1 || out.Counts["OK"] != 1 {
+		t.Errorf("open outputs = %+v", out)
+	}
+	if s.OpenCombos == nil || s.OpenCombos.All[2] != 1 || s.OpenCombos.All[1] != 1 {
+		t.Errorf("combos = %+v", s.OpenCombos)
+	}
+	// Zero-count partitions are omitted from Counts but present in the
+	// untested list.
+	if _, ok := flags.Counts["O_SYNC"]; ok {
+		t.Error("zero count serialized")
+	}
+	found := false
+	for _, u := range flags.Untested {
+		if u == "O_SYNC" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("O_SYNC missing from untested")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Analyzed != s.Analyzed || len(back.Inputs) != len(s.Inputs) || len(back.Outputs) != len(s.Outputs) {
+		t.Errorf("round trip changed shape: %+v", back)
+	}
+	if back.Space("open", "flags").Counts["O_CREAT"] != 1 {
+		t.Error("counts lost in round trip")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(openEvent(int64(sys.O_RDWR|sys.O_CREAT|sys.O_SYNC), 0o644, 3, sys.OK))
+	a.Add(openEvent(0, 0, -2, sys.ENOENT))
+	b := NewAnalyzer(DefaultOptions())
+	b.Add(openEvent(int64(sys.O_RDWR|sys.O_CREAT), 0o644, 3, sys.OK))
+
+	diffs := a.Snapshot(0).DiffSnapshot(b.Snapshot(0))
+	var flagDiff, outDiff *SnapshotDiff
+	for i := range diffs {
+		switch {
+		case diffs[i].Syscall == "open" && diffs[i].Arg == "flags":
+			flagDiff = &diffs[i]
+		case diffs[i].Syscall == "open" && diffs[i].Arg == "":
+			outDiff = &diffs[i]
+		}
+	}
+	if flagDiff == nil {
+		t.Fatal("no flags diff")
+	}
+	want := map[string]bool{"O_SYNC": true, "O_RDONLY": true}
+	for _, l := range flagDiff.OnlyInFirst {
+		if !want[l] {
+			t.Errorf("unexpected diff label %s", l)
+		}
+		delete(want, l)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing diff labels: %v", want)
+	}
+	if outDiff == nil {
+		t.Fatal("no output diff")
+	}
+	// b never failed an open, so ENOENT is only-in-first.
+	foundENOENT := false
+	for _, l := range outDiff.OnlyInFirst {
+		if l == "ENOENT" {
+			foundENOENT = true
+		}
+	}
+	if !foundENOENT {
+		t.Errorf("output diff = %v", outDiff.OnlyInFirst)
+	}
+	// Symmetric direction: b covers nothing a doesn't.
+	if diffs := b.Snapshot(0).DiffSnapshot(a.Snapshot(0)); len(diffs) != 0 {
+		t.Errorf("reverse diff = %v", diffs)
+	}
+}
+
+func TestSnapshotNumericTruncation(t *testing.T) {
+	a := NewAnalyzer(DefaultOptions())
+	a.Add(writeEvent(1, 1, sys.OK))
+	s := a.Snapshot(10)
+	wc := s.Space("write", "count")
+	if wc.Domain != 10 {
+		t.Errorf("truncated domain = %d, want 10", wc.Domain)
+	}
+}

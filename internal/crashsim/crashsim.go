@@ -1,0 +1,136 @@
+// Package crashsim is the crash-consistency substrate behind the
+// CrashMonkey simulation: it models what survives a sudden power loss.
+//
+// The model is snapshot-based, corresponding to a filesystem that orders
+// all writes behind persistence points: the simulator keeps a "persisted"
+// deep copy of the filesystem, refreshed at every successful sync
+// barrier (sync, fsync, fdatasync). A simulated crash discards the live
+// state and recovers from the persisted copy. This is coarser than
+// CrashMonkey's block-level reordering (every barrier persists the whole
+// filesystem, not just the fsynced file), which makes the oracle
+// conservative: anything it flags as lost-after-fsync is a genuine
+// durability violation.
+//
+// The injectable vfs.BugSet.FsyncIgnored bug — fsync acknowledging without
+// persisting — is exactly the class this tester exists to catch, and it is
+// invisible to every non-crash tester in the repository.
+package crashsim
+
+import (
+	"fmt"
+
+	"iocov/internal/kernel"
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+// Sim tracks the persisted state of a filesystem under test. Attach it to
+// a kernel's sink so sync barriers are observed, or call Persist manually.
+type Sim struct {
+	live      *vfs.FS
+	persisted *vfs.FS
+	// barriers counts persistence points taken.
+	barriers int64
+	// buggy mirrors the live filesystem's FsyncIgnored injection: when
+	// set, fsync/fdatasync barriers are acknowledged but not persisted
+	// (sync still persists, as the bug class is per-file fsync loss).
+	buggy bool
+}
+
+// New creates a simulator whose initial persisted state is a snapshot of
+// fs as given.
+func New(fs *vfs.FS) *Sim {
+	return &Sim{
+		live:      fs,
+		persisted: fs.Clone(),
+		buggy:     fs.Config().Bugs.FsyncIgnored,
+	}
+}
+
+// Persist takes a persistence snapshot (a sync barrier).
+func (s *Sim) Persist() {
+	s.persisted = s.live.Clone()
+	s.barriers++
+}
+
+// Barriers reports how many persistence points have been taken.
+func (s *Sim) Barriers() int64 { return s.barriers }
+
+// Crash returns the filesystem state after a simulated power loss: a clone
+// of the last persisted snapshot. The live filesystem is untouched, so a
+// workload can continue and crash again later.
+func (s *Sim) Crash() *vfs.FS { return s.persisted.Clone() }
+
+// Sink returns a trace sink that watches for successful sync-family
+// syscalls and takes persistence snapshots, mirroring how a crash tester
+// instruments the block layer. Chain it with the analyzer via
+// trace.MultiSink.
+func (s *Sim) Sink() trace.Sink {
+	return trace.SinkFunc(func(ev trace.Event) {
+		if ev.Err != sys.OK {
+			return
+		}
+		switch ev.Name {
+		case "fsync", "fdatasync":
+			if s.buggy {
+				return // acknowledged but not persisted: the bug
+			}
+			s.Persist()
+		case "sync":
+			s.Persist()
+		}
+	})
+}
+
+// Expectation is a durability assertion registered at a persistence point:
+// after any later crash, the file must exist with at least the given size.
+type Expectation struct {
+	Path    string
+	MinSize int64
+}
+
+// Violation reports one durability expectation a crash image failed.
+type Violation struct {
+	Expectation
+	Got string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: expected durable size >= %d, got %s", v.Path, v.MinSize, v.Got)
+}
+
+// Check verifies expectations against a crash image.
+func Check(img *vfs.FS, expectations []Expectation) []Violation {
+	var out []Violation
+	for _, exp := range expectations {
+		st, e := img.Lookup(img.Root(), vfs.Root, exp.Path)
+		switch {
+		case e != sys.OK:
+			out = append(out, Violation{exp, e.Name()})
+		case st.Size < exp.MinSize:
+			out = append(out, Violation{exp, fmt.Sprintf("size %d", st.Size)})
+		}
+	}
+	return out
+}
+
+// Workload is a crash-test scenario: it runs ops on the process and
+// returns the durability expectations accumulated at its sync barriers.
+type Workload func(p *kernel.Proc) []Expectation
+
+// RunCrashTest wires everything together: a fresh filesystem with the
+// given bugs, a kernel whose sink feeds the simulator, the workload, a
+// crash, and the check. It returns the violations (nil for a correct
+// filesystem).
+func RunCrashTest(bugs vfs.BugSet, w Workload) []Violation {
+	cfg := vfs.DefaultConfig()
+	cfg.Bugs = bugs
+	fs := vfs.New(cfg)
+	sim := New(fs)
+	k := kernel.New(fs, kernel.Options{Sink: sim.Sink()})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	expectations := w(p)
+	img := sim.Crash()
+	return Check(img, expectations)
+}

@@ -1,0 +1,189 @@
+package crashsim
+
+import (
+	"bytes"
+	"testing"
+
+	"iocov/internal/kernel"
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+// fsyncWorkload writes a file, fsyncs it (registering the durability
+// expectation), then writes more without syncing.
+func fsyncWorkload(p *kernel.Proc) []Expectation {
+	var exps []Expectation
+	fd, e := p.Open("/durable", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	if e != sys.OK {
+		return nil
+	}
+	_, _ = p.Write(fd, make([]byte, 8192))
+	if p.Fsync(fd) == sys.OK {
+		exps = append(exps, Expectation{Path: "/durable", MinSize: 8192})
+	}
+	// Post-barrier writes may legitimately be lost.
+	_, _ = p.Write(fd, make([]byte, 4096))
+	_ = p.Close(fd)
+	return exps
+}
+
+func TestCorrectFSKeepsFsyncedData(t *testing.T) {
+	if v := RunCrashTest(vfs.BugSet{}, fsyncWorkload); len(v) != 0 {
+		t.Errorf("violations on a correct filesystem: %v", v)
+	}
+}
+
+func TestFsyncIgnoredBugCaught(t *testing.T) {
+	v := RunCrashTest(vfs.BugSet{FsyncIgnored: true}, fsyncWorkload)
+	if len(v) == 0 {
+		t.Fatal("the crash tester missed the fsync-ignored bug")
+	}
+	if v[0].Path != "/durable" {
+		t.Errorf("violation = %v", v[0])
+	}
+}
+
+// TestFsyncBugInvisibleWithoutCrashSim: the same buggy filesystem passes a
+// plain (non-crash) run untouched — only the crash oracle sees the bug,
+// which is why CrashMonkey-style testing exists.
+func TestFsyncBugInvisibleWithoutCrashSim(t *testing.T) {
+	cfg := vfs.DefaultConfig()
+	cfg.Bugs.FsyncIgnored = true
+	fs := vfs.New(cfg)
+	k := kernel.New(fs, kernel.Options{})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	p.Write(fd, []byte("data"))
+	if e := p.Fsync(fd); e != sys.OK {
+		t.Fatalf("buggy fsync errored: %v", e)
+	}
+	buf := make([]byte, 4)
+	p.Lseek(fd, 0, sys.SEEK_SET)
+	if n, e := p.Read(fd, buf); e != sys.OK || n != 4 {
+		t.Fatalf("read = %d,%v", n, e)
+	}
+	if len(fs.CheckConsistency()) != 0 {
+		t.Error("non-crash run should see nothing wrong")
+	}
+}
+
+func TestUnsyncedDataLostOnCrash(t *testing.T) {
+	fs := vfs.New(vfs.DefaultConfig())
+	sim := New(fs)
+	k := kernel.New(fs, kernel.Options{Sink: sim.Sink()})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	p.Write(fd, make([]byte, 4096))
+	// No sync: the crash image must not contain the file.
+	img := sim.Crash()
+	if _, e := img.Lookup(img.Root(), vfs.Root, "/f"); e != sys.ENOENT {
+		t.Errorf("unsynced file survived the crash: %v", e)
+	}
+	// After a sync barrier it survives.
+	p.Sync()
+	img = sim.Crash()
+	st, e := img.Lookup(img.Root(), vfs.Root, "/f")
+	if e != sys.OK || st.Size != 4096 {
+		t.Errorf("synced file lost: %+v, %v", st, e)
+	}
+	if sim.Barriers() != 1 {
+		t.Errorf("barriers = %d", sim.Barriers())
+	}
+}
+
+func TestCrashImageIsIsolated(t *testing.T) {
+	fs := vfs.New(vfs.DefaultConfig())
+	sim := New(fs)
+	k := kernel.New(fs, kernel.Options{Sink: sim.Sink()})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	p.Write(fd, []byte("v1"))
+	p.Fsync(fd)
+	img := sim.Crash()
+	// Mutating the live fs after the crash image is taken must not leak.
+	p.Lseek(fd, 0, sys.SEEK_SET)
+	p.Write(fd, []byte("v2"))
+	p.Fsync(fd)
+	data, e := img.ReadFileAt("/f", 0, 2)
+	if e != sys.OK || !bytes.Equal(data, []byte("v1")) {
+		t.Errorf("crash image mutated: %q, %v", data, e)
+	}
+	// And the newer barrier gives a newer image.
+	img2 := sim.Crash()
+	data, _ = img2.ReadFileAt("/f", 0, 2)
+	if !bytes.Equal(data, []byte("v2")) {
+		t.Errorf("new image stale: %q", data)
+	}
+}
+
+func TestCloneFidelity(t *testing.T) {
+	fs := vfs.New(vfs.DefaultConfig())
+	k := kernel.New(fs, kernel.Options{})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	p.Mkdir("/d", 0o750)
+	fd, _ := p.Open("/d/f", sys.O_CREAT|sys.O_RDWR, 0o640)
+	p.Write(fd, []byte("hello"))
+	p.Setxattr("/d/f", "user.k", []byte("v"), 0)
+	p.Symlink("/d/f", "/d/link")
+	p.Close(fd)
+
+	clone := fs.Clone()
+	// Same inventory.
+	a, b := fs.WalkStats(), clone.WalkStats()
+	if len(a) != len(b) {
+		t.Fatalf("inventories differ: %d vs %d", len(a), len(b))
+	}
+	for path, st := range a {
+		cst, ok := b[path]
+		if !ok {
+			t.Fatalf("clone missing %s", path)
+		}
+		if cst.Size != st.Size || cst.Mode != st.Mode || cst.Type != st.Type {
+			t.Errorf("%s differs: %+v vs %+v", path, st, cst)
+		}
+	}
+	// Data and xattrs copied.
+	data, e := clone.ReadFileAt("/d/f", 0, 5)
+	if e != sys.OK || string(data) != "hello" {
+		t.Errorf("clone data = %q, %v", data, e)
+	}
+	buf := make([]byte, 4)
+	n, e := clone.Getxattr(clone.Root(), vfs.Root, "/d/f", "user.k", buf)
+	if e != sys.OK || string(buf[:n]) != "v" {
+		t.Errorf("clone xattr = %q, %v", buf[:n], e)
+	}
+	// Deep copy: writing to the original does not touch the clone.
+	ino, _ := fs.LookupInode(fs.Root(), vfs.Root, "/d/f", true)
+	fs.WriteAt(vfs.Root, ino, []byte("HELLO"), 0, false)
+	data, _ = clone.ReadFileAt("/d/f", 0, 5)
+	if string(data) != "hello" {
+		t.Errorf("clone not deep: %q", data)
+	}
+	// Block accounting carried over.
+	if clone.UsedBlocks() != fs.UsedBlocks() {
+		t.Errorf("blocks differ: %d vs %d", clone.UsedBlocks(), fs.UsedBlocks())
+	}
+}
+
+func TestCheckReportsMissingAndShort(t *testing.T) {
+	fs := vfs.New(vfs.DefaultConfig())
+	k := kernel.New(fs, kernel.Options{})
+	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
+	fd, _ := p.Open("/short", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	p.Write(fd, make([]byte, 10))
+	p.Close(fd)
+	v := Check(fs, []Expectation{
+		{Path: "/missing", MinSize: 1},
+		{Path: "/short", MinSize: 100},
+		{Path: "/short", MinSize: 10}, // satisfied
+	})
+	if len(v) != 2 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Got != "ENOENT" || v[1].Got != "size 10" {
+		t.Errorf("violations = %v, %v", v[0], v[1])
+	}
+	if v[0].String() == "" {
+		t.Error("violation does not format")
+	}
+}

@@ -1,0 +1,217 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+// TestCleanFSNoMismatches: on a correct filesystem the kernel and the model
+// must agree on every generated op — any disagreement is a bug in one of
+// the two independent implementations.
+func TestCleanFSNoMismatches(t *testing.T) {
+	res := Run(Config{Ops: 8000, Seed: 42, GuideEvery: 50})
+	if len(res.Mismatches) != 0 {
+		for i, m := range res.Mismatches {
+			if i > 10 {
+				break
+			}
+			t.Errorf("mismatch: %s", m)
+		}
+		t.Fatalf("%d mismatches on a correct filesystem", len(res.Mismatches))
+	}
+	if res.Ops != 8000 || res.Guided == 0 {
+		t.Errorf("ops=%d guided=%d", res.Ops, res.Guided)
+	}
+}
+
+// TestCleanFSManySeeds: robustness across seeds.
+func TestCleanFSManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := Run(Config{Ops: 1500, Seed: seed, GuideEvery: 40})
+		if len(res.Mismatches) != 0 {
+			t.Fatalf("seed %d: %d mismatches, first: %s", seed, len(res.Mismatches), res.Mismatches[0])
+		}
+	}
+}
+
+func findsBug(t *testing.T, bugs vfs.BugSet, guided bool, wantSubstr string) bool {
+	t.Helper()
+	guide := 0
+	if guided {
+		guide = 25
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := Config{Ops: 6000, Seed: seed, GuideEvery: guide}
+		cfg.FS = vfs.DefaultConfig()
+		cfg.FS.Bugs = bugs
+		res := Run(cfg)
+		for _, m := range res.Mismatches {
+			if strings.Contains(m.Op, wantSubstr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestFindsNowaitBug: the injected NOWAIT ENOSPC bug surfaces as a write
+// mismatch once the generator produces O_NONBLOCK descriptors.
+func TestFindsNowaitBug(t *testing.T) {
+	if !findsBug(t, vfs.BugSet{NowaitWriteENOSPC: true}, true, "write") {
+		t.Error("differential tester missed the NOWAIT write bug")
+	}
+}
+
+// TestFindsTruncateExpandBug: block-aligned expansion shows up either as a
+// truncate outcome divergence or a state-check size divergence.
+func TestFindsTruncateExpandBug(t *testing.T) {
+	found := findsBug(t, vfs.BugSet{TruncateExpandError: true}, true, "truncate") ||
+		findsBug(t, vfs.BugSet{TruncateExpandError: true}, true, "stat") ||
+		findsBug(t, vfs.BugSet{TruncateExpandError: true}, true, "lseek")
+	if !found {
+		t.Error("differential tester missed the truncate-expand bug")
+	}
+}
+
+// TestFindsXattrOverflowWithGuidance: Figure 1's bug needs the max-size
+// boundary probe, which only coverage guidance generates.
+func TestFindsXattrOverflowWithGuidance(t *testing.T) {
+	if !findsBug(t, vfs.BugSet{XattrSizeOverflow: true}, true, "setxattr") {
+		t.Error("guided differential tester missed the xattr overflow bug")
+	}
+}
+
+// TestFindsLargefileBug: sparse truncates beyond 2 GiB plus opens without
+// O_LARGEFILE expose the missing EOVERFLOW check.
+func TestFindsLargefileBug(t *testing.T) {
+	bugs := vfs.BugSet{LargefileOpen: true}
+	found := false
+	for seed := int64(0); seed < 10 && !found; seed++ {
+		cfg := Config{Ops: 8000, Seed: seed, GuideEvery: 25}
+		cfg.FS = vfs.DefaultConfig()
+		cfg.FS.Bugs = bugs
+		res := Run(cfg)
+		for _, m := range res.Mismatches {
+			if strings.Contains(m.Op, "open") {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("differential tester missed the largefile-open bug")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(Config{Ops: 2000, Seed: 5, GuideEvery: 30})
+	b := Run(Config{Ops: 2000, Seed: 5, GuideEvery: 30})
+	if len(a.Mismatches) != len(b.Mismatches) {
+		t.Errorf("nondeterministic mismatch counts: %d vs %d", len(a.Mismatches), len(b.Mismatches))
+	}
+	fa := a.Analyzer.InputReport("open", "flags").Frequencies()
+	fb := b.Analyzer.InputReport("open", "flags").Frequencies()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("nondeterministic coverage at %d", i)
+		}
+	}
+}
+
+// TestGuidanceImprovesInputCoverage: with guidance the run covers more open
+// flag partitions than without, on the same budget.
+func TestGuidanceImprovesInputCoverage(t *testing.T) {
+	plain := Run(Config{Ops: 4000, Seed: 9})
+	guided := Run(Config{Ops: 4000, Seed: 9, GuideEvery: 20})
+	pc := plain.Analyzer.InputReport("open", "flags").Covered()
+	gc := guided.Analyzer.InputReport("open", "flags").Covered()
+	if gc < pc {
+		t.Errorf("guided covered %d flags, plain %d; guidance should not reduce coverage", gc, pc)
+	}
+	// Guided write sizes should reach buckets plain misses.
+	pw := plain.Analyzer.InputReport("write", "count").Covered()
+	gw := guided.Analyzer.InputReport("write", "count").Covered()
+	if gw <= pw {
+		t.Errorf("guided write buckets %d <= plain %d", gw, pw)
+	}
+}
+
+func TestBoundaryFromLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		want  int64
+		ok    bool
+	}{
+		{"=0", 0, true}, {"2^0", 1, true}, {"2^12", 4096, true},
+		{"2^24", 1 << 24, true}, {"2^25", 0, false}, {"O_SYNC", 0, false},
+		{"<0", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := boundaryFromLabel(c.label, 24)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("boundaryFromLabel(%q) = %d,%v want %d,%v", c.label, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestModelDirectly exercises the reference model's own corner cases.
+func TestModelDirectly(t *testing.T) {
+	m := NewModel(1<<40, 1<<16, 1<<16)
+	if e := m.Mkdir("/d", 0o755); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := m.Mkdir("/d", 0o755); e != sys.EEXIST {
+		t.Errorf("mkdir twice = %v", e)
+	}
+	if e := m.Open(3, "/f", sys.O_CREAT|sys.O_RDWR, 0o644); e != sys.OK {
+		t.Fatal(e)
+	}
+	if n, e := m.Write(3, 100); e != sys.OK || n != 100 {
+		t.Errorf("write = %d,%v", n, e)
+	}
+	if pos, e := m.Lseek(3, 0, sys.SEEK_END); e != sys.OK || pos != 100 {
+		t.Errorf("seek end = %d,%v", pos, e)
+	}
+	if e := m.Open(4, "/d", sys.O_WRONLY, 0); e != sys.EISDIR {
+		t.Errorf("write-open dir = %v", e)
+	}
+	if e := m.Open(4, "/nope", sys.O_RDONLY, 0); e != sys.ENOENT {
+		t.Errorf("open missing = %v", e)
+	}
+	if e := m.Close(3); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := m.Close(3); e != sys.EBADF {
+		t.Errorf("double close = %v", e)
+	}
+	// Large-file rule.
+	if e := m.Truncate("/f", 1<<32); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := m.Open(5, "/f", sys.O_RDONLY, 0); e != sys.EOVERFLOW {
+		t.Errorf("2GiB open without O_LARGEFILE = %v", e)
+	}
+	if e := m.Open(5, "/f", sys.O_RDONLY|sys.O_LARGEFILE, 0); e != sys.OK {
+		t.Errorf("with O_LARGEFILE = %v", e)
+	}
+	// Xattr capacity: a 60000-byte value fits (60000 + name + overhead <
+	// 65536); a second one does not.
+	if e := m.Setxattr("/f", "user.a", 60000, 0); e != sys.OK {
+		t.Errorf("first xattr = %v", e)
+	}
+	if e := m.Setxattr("/f", "user.b", 60000, 0); e != sys.ENOSPC {
+		t.Errorf("over-capacity xattr = %v", e)
+	}
+	if e := m.Setxattr("/f", "user.big", 1<<17, 0); e != sys.E2BIG {
+		t.Errorf("oversized xattr = %v", e)
+	}
+	if n, e := m.Getxattr("/f", "user.a", 0); e != sys.OK || n != 60000 {
+		t.Errorf("getxattr size query = %d,%v", n, e)
+	}
+	if _, e := m.Getxattr("/f", "user.a", 5); e != sys.ERANGE {
+		t.Errorf("short buffer = %v", e)
+	}
+}

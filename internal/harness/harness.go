@@ -1,0 +1,76 @@
+// Package harness wires the evaluation pipeline together: fresh filesystem
+// + kernel + mount filter + analyzer, with one of the simulated test suites
+// on top. The figures command, the benchmarks, and the examples all drive
+// their runs through it.
+package harness
+
+import (
+	"fmt"
+
+	"iocov/internal/coverage"
+	"iocov/internal/kernel"
+	"iocov/internal/suites/crashmonkey"
+	"iocov/internal/suites/xfstests"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+// MountPattern is the evaluation's trace-filter regexp: the /mnt/test
+// mount point both simulated suites use.
+const MountPattern = `^/mnt/test(/|$)`
+
+// Suite names.
+const (
+	SuiteXfstests    = "xfstests"
+	SuiteCrashMonkey = "crashmonkey"
+)
+
+// Run executes one named suite at the given scale into a fresh pipeline and
+// returns the analyzer. extraSinks, if any, also receive the filtered
+// events (e.g. a trace writer).
+func Run(suite string, scale float64, seed int64, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
+	return RunWithOptions(suite, scale, seed, coverage.DefaultOptions(), extraSinks...)
+}
+
+// RunWithOptions is Run with explicit analyzer options (extended syscall
+// table, combination tracking, identifier tracking).
+func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Options, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
+	an := coverage.NewAnalyzer(opts)
+	filter, err := trace.NewFilter(MountPattern)
+	if err != nil {
+		return nil, err
+	}
+	var next trace.Sink = an
+	if len(extraSinks) > 0 {
+		next = append(trace.MultiSink{an}, extraSinks...)
+	}
+	k := kernel.New(vfs.New(vfs.DefaultConfig()), kernel.Options{
+		Sink: &trace.FilteringSink{F: filter, Next: next},
+	})
+	switch suite {
+	case SuiteXfstests:
+		_, err = xfstests.Run(k, xfstests.Config{Scale: scale, Seed: seed, Noise: true})
+	case SuiteCrashMonkey:
+		_, err = crashmonkey.Run(k, crashmonkey.Config{Scale: scale, Seed: seed, Noise: true})
+	default:
+		return nil, fmt.Errorf("harness: unknown suite %q", suite)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// RunBoth runs both suites at the same scale (the evaluation's setup) and
+// returns (xfstests, crashmonkey).
+func RunBoth(scale float64, seed int64) (*coverage.Analyzer, *coverage.Analyzer, error) {
+	xfs, err := Run(SuiteXfstests, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := Run(SuiteCrashMonkey, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return xfs, cm, nil
+}

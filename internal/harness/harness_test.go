@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"testing"
+
+	"iocov/internal/trace"
+)
+
+func TestRunUnknownSuite(t *testing.T) {
+	if _, err := Run("nonexistent", 0.01, 1); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+func TestRunWithExtraSink(t *testing.T) {
+	col := trace.NewCollector()
+	an, err := Run(SuiteCrashMonkey, 0.02, 1, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Analyzed() == 0 {
+		t.Fatal("nothing analyzed")
+	}
+	// The extra sink receives the same filtered stream, including events
+	// outside the analyzer's syscall scope.
+	if int64(col.Len()) != an.Analyzed()+an.Skipped() {
+		t.Errorf("collector saw %d, analyzer %d+%d", col.Len(), an.Analyzed(), an.Skipped())
+	}
+}
+
+func TestRunBoth(t *testing.T) {
+	xfs, cm, err := RunBoth(0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfs.Analyzed() <= cm.Analyzed() {
+		t.Errorf("xfstests %d <= crashmonkey %d events", xfs.Analyzed(), cm.Analyzed())
+	}
+}

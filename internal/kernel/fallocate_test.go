@@ -1,0 +1,48 @@
+package kernel
+
+import (
+	"testing"
+
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+func TestFallocateSyscall(t *testing.T) {
+	p, col := newProc(t)
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	if e := p.Fallocate(fd, 0, 0, 16384); e != sys.OK {
+		t.Fatalf("fallocate: %v", e)
+	}
+	if st, _ := p.Stat("/f"); st.Size != 16384 || st.Blocks != 4 {
+		t.Errorf("after fallocate: size %d blocks %d", st.Size, st.Blocks)
+	}
+	// KEEP_SIZE preallocates past EOF without growing.
+	if e := p.Fallocate(fd, vfs.FallocKeepSize, 16384, 8192); e != sys.OK {
+		t.Fatal(e)
+	}
+	if st, _ := p.Stat("/f"); st.Size != 16384 || st.Blocks != 6 {
+		t.Errorf("after keep-size: size %d blocks %d", st.Size, st.Blocks)
+	}
+	// Event shape.
+	var ev bool
+	for _, e := range col.Events() {
+		if e.Name == "fallocate" {
+			ev = true
+			if l, _ := e.Arg("len"); l != 16384 && l != 8192 {
+				t.Errorf("traced len = %d", l)
+			}
+		}
+	}
+	if !ev {
+		t.Error("fallocate not traced")
+	}
+	p.Close(fd)
+	// Descriptor validation.
+	if e := p.Fallocate(fd, 0, 0, 10); e != sys.EBADF {
+		t.Errorf("closed fd = %v", e)
+	}
+	rfd, _ := p.Open("/f", sys.O_RDONLY, 0)
+	if e := p.Fallocate(rfd, 0, 0, 10); e != sys.EBADF {
+		t.Errorf("read-only fd = %v", e)
+	}
+}

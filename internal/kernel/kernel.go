@@ -1,0 +1,243 @@
+// Package kernel implements the syscall layer on top of internal/vfs: file
+// descriptor tables, current working directories, umask, rlimits, fault
+// injection, and — most importantly for IOCov — emission of one trace event
+// per completed syscall, success or failure, exactly as LTTng would observe
+// at the syscall boundary.
+//
+// The package provides all 27 syscalls the paper's prototype traces (11 base
+// syscalls plus their variants) with Linux x86-64 semantics, and a handful
+// of untracked helpers (unlink, rename, fsync, ...) the workload substrates
+// need to build filesystem states.
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+// Kernel owns a filesystem, the system-wide file table accounting, the
+// fault-injection rules, and the trace sink.
+type Kernel struct {
+	fs   *vfs.FS
+	sink trace.Sink
+
+	mu       sync.Mutex
+	nextPID  int
+	openSys  int // system-wide open file count (ENFILE)
+	maxSys   int
+	faults   *FaultSet
+	seq      atomic.Uint64
+	traceAll bool
+}
+
+// Options configures a Kernel.
+type Options struct {
+	// MaxSystemFiles bounds the system-wide open file table (ENFILE).
+	// Zero means the default of 65536.
+	MaxSystemFiles int
+	// Sink receives one event per completed syscall; nil disables tracing.
+	Sink trace.Sink
+}
+
+// New creates a kernel over fs.
+func New(fs *vfs.FS, opts Options) *Kernel {
+	if opts.MaxSystemFiles <= 0 {
+		opts.MaxSystemFiles = 65536
+	}
+	return &Kernel{
+		fs:      fs,
+		sink:    opts.Sink,
+		nextPID: 1,
+		maxSys:  opts.MaxSystemFiles,
+		faults:  NewFaultSet(),
+	}
+}
+
+// FS returns the underlying filesystem.
+func (k *Kernel) FS() *vfs.FS { return k.fs }
+
+// Faults returns the kernel's fault-injection rule set.
+func (k *Kernel) Faults() *FaultSet { return k.faults }
+
+// SetSink replaces the trace sink (nil disables tracing).
+func (k *Kernel) SetSink(s trace.Sink) { k.sink = s }
+
+// Sink returns the current trace sink (nil when tracing is disabled).
+func (k *Kernel) Sink() trace.Sink { return k.sink }
+
+// Proc is a simulated process: credentials, cwd, umask, and a descriptor
+// table with an RLIMIT_NOFILE-style bound. Proc methods are the syscall
+// entry points; they are not safe for concurrent use by multiple goroutines
+// (one goroutine per simulated process, as with real threads sharing an fd
+// table, would require external locking).
+type Proc struct {
+	k     *Kernel
+	pid   int
+	cred  vfs.Cred
+	cwd   *vfs.Inode
+	fds   map[int]*file
+	maxFD int
+	umask uint32
+}
+
+// file is an open file description (the struct file analogue).
+type file struct {
+	ino   *vfs.Inode
+	flags int
+	pos   int64
+	path  string
+}
+
+// ProcOptions configures NewProc.
+type ProcOptions struct {
+	// Cred defaults to root.
+	Cred vfs.Cred
+	// MaxFDs is the per-process descriptor limit (EMFILE); zero means 1024.
+	MaxFDs int
+	// Umask defaults to 0o022.
+	Umask uint32
+	// UmaskSet forces Umask to be honored even when zero.
+	UmaskSet bool
+}
+
+// NewProc creates a process whose cwd is the filesystem root.
+func (k *Kernel) NewProc(opts ProcOptions) *Proc {
+	k.mu.Lock()
+	pid := k.nextPID
+	k.nextPID++
+	k.mu.Unlock()
+	if opts.MaxFDs <= 0 {
+		opts.MaxFDs = 1024
+	}
+	if opts.Umask == 0 && !opts.UmaskSet {
+		opts.Umask = 0o022
+	}
+	return &Proc{
+		k:     k,
+		pid:   pid,
+		cred:  opts.Cred,
+		cwd:   k.fs.Root(),
+		fds:   make(map[int]*file),
+		maxFD: opts.MaxFDs,
+		umask: opts.Umask,
+	}
+}
+
+// PID returns the process id.
+func (p *Proc) PID() int { return p.pid }
+
+// FS returns the filesystem the process runs on.
+func (p *Proc) FS() *vfs.FS { return p.k.fs }
+
+// Cred returns the process credentials.
+func (p *Proc) Cred() vfs.Cred { return p.cred }
+
+// SetCred changes the process credentials (a setuid analogue for tests).
+func (p *Proc) SetCred(c vfs.Cred) { p.cred = c }
+
+// Umask sets the file-creation mask and returns the previous value.
+func (p *Proc) Umask(mask uint32) uint32 {
+	old := p.umask
+	p.umask = mask & 0o777
+	return old
+}
+
+// OpenFDs returns the currently open descriptor numbers (unordered).
+func (p *Proc) OpenFDs() []int {
+	out := make([]int, 0, len(p.fds))
+	for fd := range p.fds {
+		out = append(out, fd)
+	}
+	return out
+}
+
+// CloseAll closes every open descriptor, for workload teardown.
+func (p *Proc) CloseAll() {
+	for fd := range p.fds {
+		p.k.mu.Lock()
+		p.k.openSys--
+		p.k.mu.Unlock()
+		delete(p.fds, fd)
+	}
+}
+
+// allocFD installs f at the lowest free descriptor number, enforcing both
+// the per-process (EMFILE) and system-wide (ENFILE) limits.
+func (p *Proc) allocFD(f *file) (int, sys.Errno) {
+	if len(p.fds) >= p.maxFD {
+		return -1, sys.EMFILE
+	}
+	p.k.mu.Lock()
+	if p.k.openSys >= p.k.maxSys {
+		p.k.mu.Unlock()
+		return -1, sys.ENFILE
+	}
+	p.k.openSys++
+	p.k.mu.Unlock()
+	for fd := 3; ; fd++ { // 0..2 reserved for std streams, as on Linux
+		if _, used := p.fds[fd]; !used {
+			p.fds[fd] = f
+			return fd, sys.OK
+		}
+	}
+}
+
+func (p *Proc) lookupFD(fd int) (*file, sys.Errno) {
+	f, ok := p.fds[fd]
+	if !ok {
+		return nil, sys.EBADF
+	}
+	return f, sys.OK
+}
+
+// emit sends one completed-syscall event to the kernel's sink.
+func (p *Proc) emit(name, path string, strs map[string]string, args map[string]int64, ret int64, err sys.Errno) {
+	if p.k.sink == nil {
+		return
+	}
+	if err != sys.OK {
+		ret = -int64(err)
+	}
+	p.k.sink.Emit(trace.Event{
+		Seq:  p.k.seq.Add(1),
+		PID:  p.pid,
+		Name: name,
+		Path: path,
+		Strs: strs,
+		Args: args,
+		Ret:  ret,
+		Err:  err,
+	})
+}
+
+// retFD converts an (fd, errno) pair to the traced return value.
+func retFD(fd int, err sys.Errno) int64 {
+	if err != sys.OK {
+		return -int64(err)
+	}
+	return int64(fd)
+}
+
+// dirfdBase resolves an openat-style dirfd to the base inode for path
+// resolution: AT_FDCWD means the cwd, otherwise the descriptor must name a
+// directory.
+func (p *Proc) dirfdBase(dirfd int, path string) (*vfs.Inode, sys.Errno) {
+	if len(path) > 0 && path[0] == '/' {
+		return p.k.fs.Root(), sys.OK
+	}
+	if dirfd == sys.AT_FDCWD {
+		return p.cwd, sys.OK
+	}
+	f, e := p.lookupFD(dirfd)
+	if e != sys.OK {
+		return nil, e
+	}
+	if f.ino.Type() != vfs.TypeDir {
+		return nil, sys.ENOTDIR
+	}
+	return f.ino, sys.OK
+}

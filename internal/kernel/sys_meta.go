@@ -1,0 +1,261 @@
+package kernel
+
+import (
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+// Mkdir is mkdir(2).
+func (p *Proc) Mkdir(path string, mode uint32) sys.Errno {
+	err := p.mkdirInner("mkdir", p.cwd, path, mode)
+	p.emit("mkdir", path,
+		map[string]string{"pathname": path},
+		map[string]int64{"mode": int64(mode)}, 0, err)
+	return err
+}
+
+// Mkdirat is mkdirat(2).
+func (p *Proc) Mkdirat(dirfd int, path string, mode uint32) sys.Errno {
+	var err sys.Errno
+	base, err := p.dirfdBase(dirfd, path)
+	if err == sys.OK {
+		err = p.mkdirInner("mkdirat", base, path, mode)
+	}
+	p.emit("mkdirat", path,
+		map[string]string{"pathname": path},
+		map[string]int64{"dfd": int64(dirfd), "mode": int64(mode)}, 0, err)
+	return err
+}
+
+func (p *Proc) mkdirInner(name string, base *vfs.Inode, path string, mode uint32) sys.Errno {
+	if e, hit := p.checkFault(name); hit {
+		return e
+	}
+	return p.k.fs.Mkdir(base, p.cred, path, mode&sys.PermMask&^p.umask)
+}
+
+// Chmod is chmod(2).
+func (p *Proc) Chmod(path string, mode uint32) sys.Errno {
+	err := p.chmodInner("chmod", p.cwd, path, mode)
+	p.emit("chmod", path,
+		map[string]string{"filename": path},
+		map[string]int64{"mode": int64(mode)}, 0, err)
+	return err
+}
+
+// Fchmod is fchmod(2).
+func (p *Proc) Fchmod(fd int, mode uint32) sys.Errno {
+	err := p.fchmodInner(fd, mode)
+	p.emit("fchmod", "", nil,
+		map[string]int64{"fd": int64(fd), "mode": int64(mode)}, 0, err)
+	return err
+}
+
+func (p *Proc) fchmodInner(fd int, mode uint32) sys.Errno {
+	if e, hit := p.checkFault("fchmod"); hit {
+		return e
+	}
+	f, e := p.lookupFD(fd)
+	if e != sys.OK {
+		return e
+	}
+	if f.flags&sys.O_PATH != 0 {
+		return sys.EBADF
+	}
+	return p.k.fs.ChmodInode(p.cred, f.ino, mode)
+}
+
+// Fchmodat is fchmodat(2). AT_SYMLINK_NOFOLLOW is accepted by the ABI but
+// unsupported, returning ENOTSUP as on Linux.
+func (p *Proc) Fchmodat(dirfd int, path string, mode uint32, flags int) sys.Errno {
+	err := p.fchmodatInner(dirfd, path, mode, flags)
+	p.emit("fchmodat", path,
+		map[string]string{"filename": path},
+		map[string]int64{"dfd": int64(dirfd), "mode": int64(mode), "flags": int64(flags)}, 0, err)
+	return err
+}
+
+func (p *Proc) fchmodatInner(dirfd int, path string, mode uint32, flags int) sys.Errno {
+	if e, hit := p.checkFault("fchmodat"); hit {
+		return e
+	}
+	if flags&^sys.AT_SYMLINK_NOFOLLOW != 0 {
+		return sys.EINVAL
+	}
+	if flags&sys.AT_SYMLINK_NOFOLLOW != 0 {
+		return sys.ENOTSUP
+	}
+	base, e := p.dirfdBase(dirfd, path)
+	if e != sys.OK {
+		return e
+	}
+	return p.chmodInner("", base, path, mode)
+}
+
+func (p *Proc) chmodInner(name string, base *vfs.Inode, path string, mode uint32) sys.Errno {
+	if name != "" {
+		if e, hit := p.checkFault(name); hit {
+			return e
+		}
+	}
+	return p.k.fs.Chmod(base, p.cred, path, mode)
+}
+
+// --- Untracked helper syscalls ---------------------------------------------
+//
+// The workload substrates need namespace operations beyond the 27 traced
+// syscalls to build realistic filesystem states (CrashMonkey mutates with
+// unlink/rename/fsync constantly). They are traced like everything else;
+// the analyzer simply has no partitions for them, mirroring how IOCov
+// ignores out-of-scope records in an LTTng trace.
+
+// Unlink is unlink(2).
+func (p *Proc) Unlink(path string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("unlink"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Unlink(p.cwd, p.cred, path)
+	}
+	p.emit("unlink", path, map[string]string{"pathname": path}, nil, 0, err)
+	return err
+}
+
+// Rmdir is rmdir(2).
+func (p *Proc) Rmdir(path string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("rmdir"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Rmdir(p.cwd, p.cred, path)
+	}
+	p.emit("rmdir", path, map[string]string{"pathname": path}, nil, 0, err)
+	return err
+}
+
+// Rename is rename(2).
+func (p *Proc) Rename(oldpath, newpath string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("rename"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Rename(p.cwd, p.cred, oldpath, newpath)
+	}
+	p.emit("rename", oldpath,
+		map[string]string{"oldname": oldpath, "newname": newpath}, nil, 0, err)
+	return err
+}
+
+// Symlink is symlink(2).
+func (p *Proc) Symlink(target, linkpath string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("symlink"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Symlink(p.cwd, p.cred, target, linkpath)
+	}
+	p.emit("symlink", linkpath,
+		map[string]string{"oldname": target, "newname": linkpath}, nil, 0, err)
+	return err
+}
+
+// Link is link(2).
+func (p *Proc) Link(oldpath, newpath string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("link"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Link(p.cwd, p.cred, oldpath, newpath)
+	}
+	p.emit("link", oldpath,
+		map[string]string{"oldname": oldpath, "newname": newpath}, nil, 0, err)
+	return err
+}
+
+// Fsync is fsync(2); the in-memory filesystem is always durable, so it only
+// validates the descriptor. CrashMonkey-style workloads call it heavily.
+func (p *Proc) Fsync(fd int) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("fsync"); hit {
+		err = e
+	} else if _, e := p.lookupFD(fd); e != sys.OK {
+		err = e
+	}
+	p.emit("fsync", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	return err
+}
+
+// Fdatasync is fdatasync(2).
+func (p *Proc) Fdatasync(fd int) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("fdatasync"); hit {
+		err = e
+	} else if _, e := p.lookupFD(fd); e != sys.OK {
+		err = e
+	}
+	p.emit("fdatasync", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	return err
+}
+
+// Sync is sync(2).
+func (p *Proc) Sync() {
+	if _, hit := p.checkFault("sync"); hit {
+		// sync(2) cannot fail; the injection is consumed but ignored.
+		_ = hit
+	}
+	p.emit("sync", "", nil, nil, 0, sys.OK)
+}
+
+// Stat is stat(2), following symlinks.
+func (p *Proc) Stat(path string) (vfs.Stat, sys.Errno) {
+	var st vfs.Stat
+	var err sys.Errno
+	if e, hit := p.checkFault("stat"); hit {
+		err = e
+	} else {
+		st, err = p.k.fs.Lookup(p.cwd, p.cred, path)
+	}
+	p.emit("stat", path, map[string]string{"filename": path}, nil, 0, err)
+	return st, err
+}
+
+// StatfsBuf is the statfs(2) result subset the simulated filesystem
+// supports.
+type StatfsBuf struct {
+	Bsize  int64
+	Blocks int64
+	Bfree  int64
+}
+
+// Statfs is statfs(2).
+func (p *Proc) Statfs(path string) (StatfsBuf, sys.Errno) {
+	var buf StatfsBuf
+	var err sys.Errno
+	if e, hit := p.checkFault("statfs"); hit {
+		err = e
+	} else if _, e := p.k.fs.Lookup(p.cwd, p.cred, path); e != sys.OK {
+		err = e
+	} else {
+		cfg := p.k.fs.Config()
+		buf = StatfsBuf{
+			Bsize:  cfg.BlockSize,
+			Blocks: cfg.CapacityBytes / cfg.BlockSize,
+			Bfree:  p.k.fs.FreeBytes() / cfg.BlockSize,
+		}
+	}
+	p.emit("statfs", path, map[string]string{"pathname": path}, nil, 0, err)
+	return buf, err
+}
+
+// Lstat is lstat(2).
+func (p *Proc) Lstat(path string) (vfs.Stat, sys.Errno) {
+	var st vfs.Stat
+	var err sys.Errno
+	if e, hit := p.checkFault("lstat"); hit {
+		err = e
+	} else {
+		st, err = p.k.fs.LookupNoFollow(p.cwd, p.cred, path)
+	}
+	p.emit("lstat", path, map[string]string{"filename": path}, nil, 0, err)
+	return st, err
+}

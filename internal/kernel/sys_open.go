@@ -1,0 +1,330 @@
+package kernel
+
+import (
+	"iocov/internal/sys"
+	"iocov/internal/vfs"
+)
+
+// validOpenFlagBits is the union of every flag bit open(2) understands;
+// anything else is EINVAL under openat2's strict checking (plain open
+// ignores unknown bits on Linux, but the simulated kernel rejects them for
+// all variants so that trace records never contain undecodable words).
+const validOpenFlagBits = sys.O_ACCMODE | sys.O_CREAT | sys.O_EXCL | sys.O_NOCTTY |
+	sys.O_TRUNC | sys.O_APPEND | sys.O_NONBLOCK | sys.O_SYNC | sys.O_ASYNC |
+	sys.O_DIRECT | sys.O_LARGEFILE | sys.O_TMPFILE | sys.O_NOFOLLOW |
+	sys.O_NOATIME | sys.O_CLOEXEC | sys.O_PATH
+
+// Open is open(2).
+func (p *Proc) Open(path string, flags int, mode uint32) (int, sys.Errno) {
+	fd, err := p.openCommon("open", sys.AT_FDCWD, path, flags, mode, 0)
+	return fd, err
+}
+
+// Openat is openat(2).
+func (p *Proc) Openat(dirfd int, path string, flags int, mode uint32) (int, sys.Errno) {
+	return p.openCommon("openat", dirfd, path, flags, mode, 0)
+}
+
+// Creat is creat(2): equivalent to open with O_CREAT|O_WRONLY|O_TRUNC.
+func (p *Proc) Creat(path string, mode uint32) (int, sys.Errno) {
+	fd, err := p.openInner(sys.AT_FDCWD, path, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, mode, 0, "creat")
+	p.emit("creat", path,
+		map[string]string{"pathname": path},
+		map[string]int64{"mode": int64(mode)},
+		retFD(fd, err), err)
+	return fd, err
+}
+
+// OpenHow is openat2(2)'s struct open_how.
+type OpenHow struct {
+	Flags   int
+	Mode    uint32
+	Resolve int
+}
+
+// Openat2 is openat2(2) with RESOLVE_NO_SYMLINKS and RESOLVE_BENEATH
+// support.
+func (p *Proc) Openat2(dirfd int, path string, how OpenHow) (int, sys.Errno) {
+	fd, err := p.openat2Inner(dirfd, path, how)
+	p.emit("openat2", path,
+		map[string]string{"filename": path},
+		map[string]int64{
+			"dfd":     int64(dirfd),
+			"flags":   int64(how.Flags),
+			"mode":    int64(how.Mode),
+			"resolve": int64(how.Resolve),
+		},
+		retFD(fd, err), err)
+	return fd, err
+}
+
+func (p *Proc) openat2Inner(dirfd int, path string, how OpenHow) (int, sys.Errno) {
+	if e, hit := p.checkFault("openat2"); hit {
+		return -1, e
+	}
+	if how.Resolve&^(sys.RESOLVE_NO_SYMLINKS|sys.RESOLVE_BENEATH) != 0 {
+		return -1, sys.EINVAL
+	}
+	if how.Resolve&sys.RESOLVE_BENEATH != 0 && len(path) > 0 && path[0] == '/' {
+		return -1, sys.EXDEV
+	}
+	flags := how.Flags
+	if how.Resolve&sys.RESOLVE_NO_SYMLINKS != 0 {
+		// The VFS layer has no no-symlinks mode on the open path itself;
+		// O_NOFOLLOW only guards the final component, so pre-check the
+		// whole path with a no-symlink resolution.
+		base, e := p.dirfdBase(dirfd, path)
+		if e != sys.OK {
+			return -1, e
+		}
+		if _, e := p.k.fs.LookupInode(base, p.cred, path, false); e == sys.ELOOP {
+			return -1, sys.ELOOP
+		}
+		flags |= sys.O_NOFOLLOW
+	}
+	return p.openInner(dirfd, path, flags, how.Mode, 0, "openat2")
+}
+
+// openCommon runs the open path and emits the variant's trace event.
+func (p *Proc) openCommon(name string, dirfd int, path string, flags int, mode uint32, resolve int) (int, sys.Errno) {
+	fd, err := p.openInner(dirfd, path, flags, mode, resolve, name)
+	args := map[string]int64{"flags": int64(flags), "mode": int64(mode)}
+	if name == "openat" {
+		args["dfd"] = int64(dirfd)
+	}
+	p.emit(name, path, map[string]string{"filename": path}, args, retFD(fd, err), err)
+	return fd, err
+}
+
+func (p *Proc) openInner(dirfd int, path string, flags int, mode uint32, resolve int, faultName string) (int, sys.Errno) {
+	if e, hit := p.checkFault(faultName); hit {
+		return -1, e
+	}
+	if flags&^validOpenFlagBits != 0 {
+		return -1, sys.EINVAL
+	}
+	accmode := flags & sys.O_ACCMODE
+	if accmode == sys.O_ACCMODE {
+		return -1, sys.EINVAL
+	}
+	// O_TMPFILE requires write access and names a directory.
+	if flags&sys.O_TMPFILE == sys.O_TMPFILE {
+		if accmode != sys.O_WRONLY && accmode != sys.O_RDWR {
+			return -1, sys.EINVAL
+		}
+		return p.openTmpfile(dirfd, path, flags, mode)
+	}
+	// O_PATH ignores almost everything else; Linux permits only O_CLOEXEC,
+	// O_DIRECTORY and O_NOFOLLOW alongside it.
+	if flags&sys.O_PATH != 0 {
+		if flags&^(sys.O_PATH|sys.O_CLOEXEC|sys.O_DIRECTORY|sys.O_NOFOLLOW) != 0 {
+			return -1, sys.EINVAL
+		}
+	}
+	base, e := p.dirfdBase(dirfd, path)
+	if e != sys.OK {
+		return -1, e
+	}
+	effMode := mode & sys.PermMask &^ p.umask
+	res, e := p.k.fs.OpenInode(base, p.cred, path, flags, effMode)
+	if e != sys.OK {
+		return -1, e
+	}
+	f := &file{ino: res.Ino, flags: flags, path: path}
+	if flags&sys.O_APPEND != 0 {
+		f.pos = res.Ino.Size()
+	}
+	fd, e := p.allocFD(f)
+	if e != sys.OK {
+		return -1, e
+	}
+	return fd, sys.OK
+}
+
+// openTmpfile creates an unnamed file in the directory at path.
+func (p *Proc) openTmpfile(dirfd int, path string, flags int, mode uint32) (int, sys.Errno) {
+	base, e := p.dirfdBase(dirfd, path)
+	if e != sys.OK {
+		return -1, e
+	}
+	dir, e := p.k.fs.LookupInode(base, p.cred, path, true)
+	if e != sys.OK {
+		return -1, e
+	}
+	if dir.Type() != vfs.TypeDir {
+		return -1, sys.ENOTDIR
+	}
+	// Create an anonymous file by opening a uniquely named child and
+	// immediately unlinking it, which leaves the inode alive through the
+	// descriptor — the same observable behaviour as O_TMPFILE.
+	tmpName := tmpfileName(p, dir)
+	effMode := mode & sys.PermMask &^ p.umask
+	createFlags := (flags &^ sys.O_TMPFILE) | sys.O_CREAT | sys.O_EXCL
+	res, e := p.k.fs.OpenInode(dir, p.cred, tmpName, createFlags, effMode)
+	if e != sys.OK {
+		return -1, e
+	}
+	f := &file{ino: res.Ino, flags: flags, path: path}
+	fd, e := p.allocFD(f)
+	if e != sys.OK {
+		return -1, e
+	}
+	if e := p.k.fs.Unlink(dir, p.cred, tmpName); e != sys.OK {
+		// The entry was just created; removal can only fail on EROFS,
+		// which OpenInode would already have rejected.
+		return fd, sys.OK
+	}
+	return fd, sys.OK
+}
+
+func tmpfileName(p *Proc, dir *vfs.Inode) string {
+	return "#tmp-" + itoa(p.pid) + "-" + itoa(int(dir.Generation()))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Close is close(2).
+func (p *Proc) Close(fd int) sys.Errno {
+	err := p.closeInner(fd)
+	p.emit("close", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	return err
+}
+
+func (p *Proc) closeInner(fd int) sys.Errno {
+	if e, hit := p.checkFault("close"); hit {
+		return e
+	}
+	if _, e := p.lookupFD(fd); e != sys.OK {
+		return e
+	}
+	delete(p.fds, fd)
+	p.k.mu.Lock()
+	p.k.openSys--
+	p.k.mu.Unlock()
+	return sys.OK
+}
+
+// Dup is dup(2): it duplicates fd at the lowest free descriptor number.
+// Both descriptors share the open file description (offset and flags), as
+// on Linux.
+func (p *Proc) Dup(fd int) (int, sys.Errno) {
+	nfd, err := p.dupInner(fd, -1)
+	p.emit("dup", "", nil, map[string]int64{"fildes": int64(fd)}, retFD(nfd, err), err)
+	return nfd, err
+}
+
+// Dup2 is dup2(2): it duplicates fd onto newfd, closing newfd first if
+// open. dup2(fd, fd) validates fd and returns it.
+func (p *Proc) Dup2(fd, newfd int) (int, sys.Errno) {
+	nfd, err := p.dup2Inner(fd, newfd)
+	p.emit("dup2", "", nil,
+		map[string]int64{"oldfd": int64(fd), "newfd": int64(newfd)}, retFD(nfd, err), err)
+	return nfd, err
+}
+
+func (p *Proc) dupInner(fd, _ int) (int, sys.Errno) {
+	if e, hit := p.checkFault("dup"); hit {
+		return -1, e
+	}
+	f, e := p.lookupFD(fd)
+	if e != sys.OK {
+		return -1, e
+	}
+	return p.allocFD(f)
+}
+
+func (p *Proc) dup2Inner(fd, newfd int) (int, sys.Errno) {
+	if e, hit := p.checkFault("dup2"); hit {
+		return -1, e
+	}
+	f, e := p.lookupFD(fd)
+	if e != sys.OK {
+		return -1, e
+	}
+	if newfd < 0 || newfd >= 1<<20 {
+		return -1, sys.EBADF
+	}
+	if newfd == fd {
+		return fd, sys.OK
+	}
+	if _, open := p.fds[newfd]; open {
+		delete(p.fds, newfd)
+	} else {
+		if len(p.fds) >= p.maxFD {
+			return -1, sys.EMFILE
+		}
+		p.k.mu.Lock()
+		if p.k.openSys >= p.k.maxSys {
+			p.k.mu.Unlock()
+			return -1, sys.ENFILE
+		}
+		p.k.openSys++
+		p.k.mu.Unlock()
+	}
+	p.fds[newfd] = f
+	return newfd, sys.OK
+}
+
+// Chdir is chdir(2).
+func (p *Proc) Chdir(path string) sys.Errno {
+	err := p.chdirInner(path)
+	p.emit("chdir", path, map[string]string{"filename": path}, nil, 0, err)
+	return err
+}
+
+func (p *Proc) chdirInner(path string) sys.Errno {
+	if e, hit := p.checkFault("chdir"); hit {
+		return e
+	}
+	ino, e := p.k.fs.LookupInode(p.cwd, p.cred, path, true)
+	if e != sys.OK {
+		return e
+	}
+	if ino.Type() != vfs.TypeDir {
+		return sys.ENOTDIR
+	}
+	p.cwd = ino
+	return sys.OK
+}
+
+// Fchdir is fchdir(2).
+func (p *Proc) Fchdir(fd int) sys.Errno {
+	err := p.fchdirInner(fd)
+	p.emit("fchdir", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	return err
+}
+
+func (p *Proc) fchdirInner(fd int) sys.Errno {
+	if e, hit := p.checkFault("fchdir"); hit {
+		return e
+	}
+	f, e := p.lookupFD(fd)
+	if e != sys.OK {
+		return e
+	}
+	if f.ino.Type() != vfs.TypeDir {
+		return sys.ENOTDIR
+	}
+	p.cwd = f.ino
+	return sys.OK
+}

@@ -1,0 +1,174 @@
+package kernel
+
+import (
+	"iocov/internal/sys"
+)
+
+// Setxattr is setxattr(2). The traced size is the value length, which is
+// the numeric argument the paper's partitioner tracks for this family.
+func (p *Proc) Setxattr(path, name string, value []byte, flags int) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("setxattr"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Setxattr(p.cwd, p.cred, path, name, value, flags)
+	}
+	p.emit("setxattr", path,
+		map[string]string{"pathname": path, "name": name},
+		map[string]int64{"size": int64(len(value)), "flags": int64(flags)}, 0, err)
+	return err
+}
+
+// Lsetxattr is lsetxattr(2): it operates on a symlink itself.
+func (p *Proc) Lsetxattr(path, name string, value []byte, flags int) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("lsetxattr"); hit {
+		err = e
+	} else {
+		err = p.k.fs.SetxattrNoFollow(p.cwd, p.cred, path, name, value, flags)
+	}
+	p.emit("lsetxattr", path,
+		map[string]string{"pathname": path, "name": name},
+		map[string]int64{"size": int64(len(value)), "flags": int64(flags)}, 0, err)
+	return err
+}
+
+// Fsetxattr is fsetxattr(2).
+func (p *Proc) Fsetxattr(fd int, name string, value []byte, flags int) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("fsetxattr"); hit {
+		err = e
+	} else if f, e := p.lookupFD(fd); e != sys.OK {
+		err = e
+	} else if f.flags&sys.O_PATH != 0 {
+		err = sys.EBADF
+	} else {
+		err = p.k.fs.SetxattrInode(p.cred, f.ino, name, value, flags)
+	}
+	p.emit("fsetxattr", "",
+		map[string]string{"name": name},
+		map[string]int64{"fd": int64(fd), "size": int64(len(value)), "flags": int64(flags)}, 0, err)
+	return err
+}
+
+// Getxattr is getxattr(2); it returns the attribute size on success.
+func (p *Proc) Getxattr(path, name string, buf []byte) (int, sys.Errno) {
+	var n int
+	var err sys.Errno
+	if e, hit := p.checkFault("getxattr"); hit {
+		err = e
+	} else {
+		n, err = p.k.fs.Getxattr(p.cwd, p.cred, path, name, buf)
+	}
+	p.emit("getxattr", path,
+		map[string]string{"pathname": path, "name": name},
+		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+	return n, err
+}
+
+// Lgetxattr is lgetxattr(2).
+func (p *Proc) Lgetxattr(path, name string, buf []byte) (int, sys.Errno) {
+	var n int
+	var err sys.Errno
+	if e, hit := p.checkFault("lgetxattr"); hit {
+		err = e
+	} else {
+		n, err = p.k.fs.GetxattrNoFollow(p.cwd, p.cred, path, name, buf)
+	}
+	p.emit("lgetxattr", path,
+		map[string]string{"pathname": path, "name": name},
+		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+	return n, err
+}
+
+// Listxattr is listxattr(2): it returns the NUL-separated attribute names.
+// A zero-size buffer queries the needed size; a short buffer is ERANGE.
+func (p *Proc) Listxattr(path string, buf []byte) (int, sys.Errno) {
+	var n int
+	var err sys.Errno
+	if e, hit := p.checkFault("listxattr"); hit {
+		err = e
+	} else {
+		names, e := p.k.fs.ListXattrs(p.cwd, p.cred, path)
+		if e != sys.OK {
+			err = e
+		} else {
+			n, err = packNames(names, buf)
+		}
+	}
+	p.emit("listxattr", path,
+		map[string]string{"pathname": path},
+		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+	return n, err
+}
+
+// packNames serializes xattr names in listxattr(2)'s wire format.
+func packNames(names []string, buf []byte) (int, sys.Errno) {
+	total := 0
+	for _, n := range names {
+		total += len(n) + 1
+	}
+	if len(buf) == 0 {
+		return total, sys.OK
+	}
+	if len(buf) < total {
+		return 0, sys.ERANGE
+	}
+	pos := 0
+	for _, n := range names {
+		pos += copy(buf[pos:], n)
+		buf[pos] = 0
+		pos++
+	}
+	return total, sys.OK
+}
+
+// Removexattr is removexattr(2).
+func (p *Proc) Removexattr(path, name string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("removexattr"); hit {
+		err = e
+	} else {
+		err = p.k.fs.Removexattr(p.cwd, p.cred, path, name)
+	}
+	p.emit("removexattr", path,
+		map[string]string{"pathname": path, "name": name}, nil, 0, err)
+	return err
+}
+
+// Fremovexattr is fremovexattr(2).
+func (p *Proc) Fremovexattr(fd int, name string) sys.Errno {
+	var err sys.Errno
+	if e, hit := p.checkFault("fremovexattr"); hit {
+		err = e
+	} else if f, e := p.lookupFD(fd); e != sys.OK {
+		err = e
+	} else if f.flags&sys.O_PATH != 0 {
+		err = sys.EBADF
+	} else {
+		err = p.k.fs.RemovexattrInode(p.cred, f.ino, name)
+	}
+	p.emit("fremovexattr", "",
+		map[string]string{"name": name},
+		map[string]int64{"fd": int64(fd)}, 0, err)
+	return err
+}
+
+// Fgetxattr is fgetxattr(2).
+func (p *Proc) Fgetxattr(fd int, name string, buf []byte) (int, sys.Errno) {
+	var n int
+	var err sys.Errno
+	if e, hit := p.checkFault("fgetxattr"); hit {
+		err = e
+	} else if f, e := p.lookupFD(fd); e != sys.OK {
+		err = e
+	} else if f.flags&sys.O_PATH != 0 {
+		err = sys.EBADF
+	} else {
+		n, err = p.k.fs.GetxattrInode(p.cred, f.ino, name, buf)
+	}
+	p.emit("fgetxattr", "",
+		map[string]string{"name": name},
+		map[string]int64{"fd": int64(fd), "size": int64(len(buf))}, int64(n), err)
+	return n, err
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func TestTimestampSemantics(t *testing.T) {
+	p, _ := newProc(t)
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	st0, _ := p.Stat("/f")
+	if st0.Atime == 0 || st0.Mtime == 0 || st0.Ctime == 0 {
+		t.Fatal("fresh inode has zero timestamps")
+	}
+	// A write advances mtime and ctime but not atime.
+	p.Write(fd, []byte("x"))
+	st1, _ := p.Stat("/f")
+	if st1.Mtime <= st0.Mtime || st1.Ctime <= st0.Ctime {
+		t.Errorf("write did not advance mtime/ctime: %+v -> %+v", st0, st1)
+	}
+	if st1.Atime != st0.Atime {
+		t.Errorf("write changed atime")
+	}
+	// A read advances only atime.
+	p.Lseek(fd, 0, sys.SEEK_SET)
+	p.Read(fd, make([]byte, 1))
+	st2, _ := p.Stat("/f")
+	if st2.Atime <= st1.Atime {
+		t.Errorf("read did not advance atime")
+	}
+	if st2.Mtime != st1.Mtime {
+		t.Errorf("read changed mtime")
+	}
+	// chmod advances ctime only.
+	p.Chmod("/f", 0o600)
+	st3, _ := p.Stat("/f")
+	if st3.Ctime <= st2.Ctime || st3.Mtime != st2.Mtime || st3.Atime != st2.Atime {
+		t.Errorf("chmod timestamps wrong: %+v -> %+v", st2, st3)
+	}
+	p.Close(fd)
+}
+
+func TestONoatimeSuppressesAtime(t *testing.T) {
+	p, _ := newProc(t)
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	p.Write(fd, []byte("data"))
+	p.Close(fd)
+	fd, e := p.Open("/f", sys.O_RDONLY|sys.O_NOATIME, 0)
+	if e != sys.OK {
+		t.Fatal(e)
+	}
+	st0, _ := p.Stat("/f")
+	p.Read(fd, make([]byte, 4))
+	st1, _ := p.Stat("/f")
+	if st1.Atime != st0.Atime {
+		t.Errorf("O_NOATIME read advanced atime: %d -> %d", st0.Atime, st1.Atime)
+	}
+	p.Close(fd)
+	// Without the flag the same read does advance it.
+	fd, _ = p.Open("/f", sys.O_RDONLY, 0)
+	p.Read(fd, make([]byte, 4))
+	st2, _ := p.Stat("/f")
+	if st2.Atime <= st1.Atime {
+		t.Errorf("plain read did not advance atime")
+	}
+	p.Close(fd)
+}
+
+func TestLinkBumpsCtime(t *testing.T) {
+	p, _ := newProc(t)
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	p.Close(fd)
+	st0, _ := p.Stat("/f")
+	if e := p.Link("/f", "/g"); e != sys.OK {
+		t.Fatal(e)
+	}
+	st1, _ := p.Stat("/f")
+	if st1.Ctime <= st0.Ctime {
+		t.Error("link did not bump target ctime")
+	}
+}
+
+func TestDirectoryMtimeOnChildChange(t *testing.T) {
+	p, _ := newProc(t)
+	p.Mkdir("/d", 0o755)
+	st0, _ := p.Stat("/d")
+	fd, _ := p.Open("/d/child", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	p.Close(fd)
+	st1, _ := p.Stat("/d")
+	if st1.Mtime <= st0.Mtime {
+		t.Error("creating a child did not bump the directory mtime")
+	}
+	p.Unlink("/d/child")
+	st2, _ := p.Stat("/d")
+	if st2.Mtime <= st1.Mtime {
+		t.Error("unlinking a child did not bump the directory mtime")
+	}
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// TargetBuilder constructs non-uniform TCD target arrays (§6 future work:
+// "explore non-uniform target arrays (T)"). Developers declare a base
+// target plus pattern rules — e.g. weight persistence-related partitions
+// higher for crash-consistency work — and the builder resolves them against
+// a report's partition labels.
+//
+//	targets, _ := metrics.NewTargetBuilder(100).
+//	    Rule(`^O_(SYNC|DSYNC)$`, 10_000).
+//	    Rule(`^=0$`, 1_000).
+//	    Build(report.Labels())
+//
+// Later rules win on overlap, so specific overrides come last.
+type TargetBuilder struct {
+	base  int64
+	rules []targetRule
+	err   error
+}
+
+type targetRule struct {
+	re     *regexp.Regexp
+	target int64
+}
+
+// NewTargetBuilder starts a builder whose default per-partition target is
+// base.
+func NewTargetBuilder(base int64) *TargetBuilder {
+	return &TargetBuilder{base: base}
+}
+
+// Rule adds a pattern rule: partitions whose label matches pattern get the
+// given target. Compilation errors surface at Build.
+func (b *TargetBuilder) Rule(pattern string, target int64) *TargetBuilder {
+	if b.err != nil {
+		return b
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		b.err = fmt.Errorf("metrics: target rule %q: %w", pattern, err)
+		return b
+	}
+	b.rules = append(b.rules, targetRule{re: re, target: target})
+	return b
+}
+
+// Build resolves the targets for the given partition labels, in order.
+func (b *TargetBuilder) Build(labels []string) ([]int64, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	out := make([]int64, len(labels))
+	for i, label := range labels {
+		out[i] = b.base
+		for _, r := range b.rules {
+			if r.re.MatchString(label) {
+				out[i] = r.target
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTargetBuilder(t *testing.T) {
+	labels := []string{"O_RDONLY", "O_SYNC", "O_DSYNC", "=0", "2^10"}
+	targets, err := NewTargetBuilder(100).
+		Rule(`^O_(SYNC|DSYNC)$`, 10_000).
+		Rule(`^=0$`, 1_000).
+		Build(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 10_000, 10_000, 1_000, 100}
+	if !reflect.DeepEqual(targets, want) {
+		t.Errorf("targets = %v, want %v", targets, want)
+	}
+}
+
+func TestTargetBuilderLaterRulesWin(t *testing.T) {
+	targets, err := NewTargetBuilder(1).
+		Rule(`^O_`, 10).
+		Rule(`^O_SYNC$`, 99).
+		Build([]string{"O_SYNC", "O_CREAT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets[0] != 99 || targets[1] != 10 {
+		t.Errorf("targets = %v", targets)
+	}
+}
+
+func TestTargetBuilderBadPattern(t *testing.T) {
+	if _, err := NewTargetBuilder(1).Rule(`([`, 5).Build([]string{"x"}); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	// Error is sticky through further rules.
+	if _, err := NewTargetBuilder(1).Rule(`([`, 5).Rule(`ok`, 1).Build(nil); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestTargetBuilderWithTCD(t *testing.T) {
+	labels := []string{"O_SYNC", "O_RDONLY"}
+	freqs := []int64{10, 10_000}
+	targets, err := NewTargetBuilder(10_000).Rule(`^O_SYNC$`, 10).Build(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequencies exactly match the non-uniform targets: TCD 0.
+	got, err := TCD(freqs, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("matched TCD = %f", got)
+	}
+	// Against the uniform target the same suite scores poorly.
+	if UniformTCD(freqs, 10_000) <= 0 {
+		t.Error("uniform TCD should be positive")
+	}
+}

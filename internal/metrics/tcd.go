@@ -1,0 +1,185 @@
+// Package metrics implements the paper's Test Coverage Deviation (TCD)
+// metric (§4, "Application: syscall test adequacy") and the under-/over-
+// testing classification built on it.
+//
+// TCD is the root mean square deviation between the log-frequencies of a
+// coverage vector and a target vector:
+//
+//	TCD(T) = sqrt( 1/N * Σ (log10 F_i − log10 T_i)² )
+//
+// Logarithms downplay over-testing relative to under-testing, which the
+// paper argues is the more harmful of the two. A lower TCD means the suite
+// is closer to the developer-chosen target.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// lg is the guarded log10 used throughout: untested partitions (frequency
+// zero) contribute log10(0) := 0, i.e. they are treated like frequency 1.
+// This keeps TCD finite while still penalizing untested partitions by their
+// full distance to the target.
+func lg(x int64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log10(float64(x))
+}
+
+// TCD computes the Test Coverage Deviation of frequencies against a
+// per-partition target array. The slices must have equal non-zero length.
+func TCD(freqs, targets []int64) (float64, error) {
+	if len(freqs) == 0 {
+		return 0, fmt.Errorf("metrics: empty frequency vector")
+	}
+	if len(freqs) != len(targets) {
+		return 0, fmt.Errorf("metrics: %d frequencies vs %d targets", len(freqs), len(targets))
+	}
+	var sum float64
+	for i := range freqs {
+		d := lg(freqs[i]) - lg(targets[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(freqs))), nil
+}
+
+// UniformTCD computes TCD against the uniform target T_i = target for all i
+// (the configuration the paper's Figure 5 sweeps).
+func UniformTCD(freqs []int64, target int64) float64 {
+	if len(freqs) == 0 {
+		return 0
+	}
+	lt := lg(target)
+	var sum float64
+	for _, f := range freqs {
+		d := lg(f) - lt
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(freqs)))
+}
+
+// LinearTCD is the ablation variant computed in linear space. It exists to
+// demonstrate why the paper uses logarithms: a single over-tested partition
+// dominates the linear metric, hiding under-testing entirely.
+func LinearTCD(freqs []int64, target int64) float64 {
+	if len(freqs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range freqs {
+		d := float64(f - target)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(freqs)))
+}
+
+// SweepPoint is one (target, TCD) sample of a Figure 5 sweep.
+type SweepPoint struct {
+	Target int64
+	TCD    float64
+}
+
+// Sweep evaluates UniformTCD at logarithmically spaced targets from 1 to
+// maxTarget (inclusive), with pointsPerDecade samples per decade.
+func Sweep(freqs []int64, maxTarget int64, pointsPerDecade int) []SweepPoint {
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 10
+	}
+	var out []SweepPoint
+	maxLog := math.Log10(float64(maxTarget))
+	steps := int(maxLog*float64(pointsPerDecade)) + 1
+	prev := int64(0)
+	for i := 0; i <= steps; i++ {
+		t := int64(math.Round(math.Pow(10, float64(i)/float64(pointsPerDecade))))
+		if t <= prev {
+			continue
+		}
+		prev = t
+		out = append(out, SweepPoint{Target: t, TCD: UniformTCD(freqs, t)})
+	}
+	return out
+}
+
+// Crossover finds the smallest uniform target at which b's TCD becomes no
+// worse than a's (the paper reports CrashMonkey better below T≈5,237 and
+// xfstests better above, for open flags). It binary-searches the target
+// space [1, maxTarget]; found reports whether a crossover exists in range.
+func Crossover(a, b []int64, maxTarget int64) (target int64, found bool) {
+	diff := func(t int64) float64 { return UniformTCD(b, t) - UniformTCD(a, t) }
+	if diff(1) <= 0 {
+		return 1, true
+	}
+	if diff(maxTarget) > 0 {
+		return 0, false
+	}
+	lo, hi := int64(1), maxTarget // diff(lo) > 0, diff(hi) <= 0
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if diff(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// Adequacy classifies one partition against its target.
+type Adequacy int
+
+// Adequacy classes.
+const (
+	// Untested: frequency zero.
+	Untested Adequacy = iota
+	// UnderTested: tested, but at least a factor of ratio below target.
+	UnderTested
+	// Adequate: within a factor of ratio of the target.
+	Adequate
+	// OverTested: at least a factor of ratio above target.
+	OverTested
+)
+
+func (a Adequacy) String() string {
+	switch a {
+	case Untested:
+		return "untested"
+	case UnderTested:
+		return "under-tested"
+	case Adequate:
+		return "adequate"
+	case OverTested:
+		return "over-tested"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify buckets a frequency against a target with a tolerance ratio
+// (ratio <= 1 is treated as 10).
+func Classify(freq, target int64, ratio float64) Adequacy {
+	if ratio <= 1 {
+		ratio = 10
+	}
+	switch {
+	case freq == 0:
+		return Untested
+	case float64(freq)*ratio < float64(target):
+		return UnderTested
+	case float64(freq) > float64(target)*ratio:
+		return OverTested
+	default:
+		return Adequate
+	}
+}
+
+// ClassifyAll applies Classify across a frequency vector and returns the
+// count of partitions in each class, in Adequacy order.
+func ClassifyAll(freqs []int64, target int64, ratio float64) [4]int {
+	var out [4]int
+	for _, f := range freqs {
+		out[Classify(f, target, ratio)]++
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCDPerfectMatch(t *testing.T) {
+	freqs := []int64{100, 1000, 10}
+	got, err := TCD(freqs, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("TCD(x,x) = %f, want 0", got)
+	}
+}
+
+func TestTCDErrors(t *testing.T) {
+	if _, err := TCD(nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	if _, err := TCD([]int64{1}, []int64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestTCDKnownValue(t *testing.T) {
+	// One partition at 10^4, target 10^2: deviation 2 in log space.
+	got, _ := TCD([]int64{10000}, []int64{100})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("TCD = %f, want 2", got)
+	}
+	// Two partitions, deviations 2 and 0: sqrt((4+0)/2).
+	got, _ = TCD([]int64{10000, 100}, []int64{100, 100})
+	if math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("TCD = %f, want sqrt(2)", got)
+	}
+}
+
+func TestUntestedPartitionContributes(t *testing.T) {
+	// An untested partition behaves like frequency 1: full distance to the
+	// target.
+	a := UniformTCD([]int64{0}, 1000)
+	b := UniformTCD([]int64{1}, 1000)
+	if a != b {
+		t.Errorf("untested %f != freq-1 %f", a, b)
+	}
+	if math.Abs(a-3) > 1e-9 {
+		t.Errorf("TCD = %f, want 3", a)
+	}
+}
+
+func TestUniformTCDMatchesTCD(t *testing.T) {
+	freqs := []int64{5, 0, 7924, 120, 3}
+	targets := []int64{100, 100, 100, 100, 100}
+	want, _ := TCD(freqs, targets)
+	got := UniformTCD(freqs, 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("uniform %f != general %f", got, want)
+	}
+}
+
+func TestUnderTestingPenalizedMoreThanOver(t *testing.T) {
+	// The paper wants to downplay over-testing: a suite 100x over target
+	// must score the same log deviation as 100x under, but in linear space
+	// over-testing would dominate. Check the log metric is symmetric in
+	// ratio while the linear one is not.
+	target := int64(1000)
+	over := UniformTCD([]int64{100000}, target)
+	under := UniformTCD([]int64{10}, target)
+	if math.Abs(over-under) > 1e-9 {
+		t.Errorf("log metric asymmetric: over %f vs under %f", over, under)
+	}
+	linOver := LinearTCD([]int64{100000}, target)
+	linUnder := LinearTCD([]int64{10}, target)
+	if linOver <= linUnder {
+		t.Error("linear metric should be dominated by over-testing")
+	}
+}
+
+func TestTCDMonotoneAwayFromTarget(t *testing.T) {
+	// Property: moving a single frequency further from the target (in
+	// ratio) never decreases TCD.
+	f := func(exp uint8) bool {
+		target := int64(1000)
+		k := int64(exp%6) + 1
+		near := int64(1000)
+		far := near * pow10(k)
+		return UniformTCD([]int64{far}, target) >= UniformTCD([]int64{near}, target)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func pow10(k int64) int64 {
+	out := int64(1)
+	for i := int64(0); i < k; i++ {
+		out *= 10
+	}
+	return out
+}
+
+func TestSweep(t *testing.T) {
+	freqs := []int64{10, 100, 0, 1000}
+	pts := Sweep(freqs, 1_000_000, 5)
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if pts[0].Target != 1 {
+		t.Errorf("first target = %d", pts[0].Target)
+	}
+	last := pts[len(pts)-1]
+	if last.Target < 900_000 {
+		t.Errorf("last target = %d", last.Target)
+	}
+	// Targets strictly increase.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Target <= pts[i-1].Target {
+			t.Errorf("targets not increasing at %d", i)
+		}
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// Low-frequency suite (like CrashMonkey) vs high-frequency suite (like
+	// xfstests): the low suite wins at small targets, the high one at
+	// large targets.
+	low := []int64{10, 20, 30, 0, 0}
+	high := []int64{100000, 200000, 300000, 400000, 0}
+	cross, found := Crossover(low, high, 100_000_000)
+	if !found {
+		t.Fatal("no crossover found")
+	}
+	// Verify the defining property of the crossover point.
+	if UniformTCD(high, cross) > UniformTCD(low, cross) {
+		t.Errorf("at %d high still worse", cross)
+	}
+	if cross > 1 && UniformTCD(high, cross-1) <= UniformTCD(low, cross-1) {
+		t.Errorf("crossover %d not minimal", cross)
+	}
+}
+
+func TestCrossoverBoundaries(t *testing.T) {
+	// An untested suite scores 0 at target 1 (untested partitions count as
+	// frequency 1), so against a 100x-tested suite it is immediately
+	// better: crossover at 1.
+	tested := []int64{100, 100, 100}
+	untested := []int64{0, 0, 0}
+	if cross, found := Crossover(tested, untested, 1000); !found || cross != 1 {
+		t.Errorf("crossover = %d,%v, want 1,true", cross, found)
+	}
+	// The other way: the tested suite overtakes exactly when the target
+	// reaches the geometric midpoint, here T = 10 (lg 10 = |2 - lg 10|).
+	if cross, found := Crossover(untested, tested, 1000); !found || cross != 10 {
+		t.Errorf("crossover = %d,%v, want 10,true", cross, found)
+	}
+	// No crossover within range: b never catches a.
+	a := []int64{10, 10, 10}
+	b := []int64{100000, 100000, 100000}
+	if _, found := Crossover(a, b, 3); found {
+		t.Error("crossover found below its true location")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		freq, target int64
+		want         Adequacy
+	}{
+		{0, 1000, Untested},
+		{5, 1000, UnderTested},
+		{100, 1000, Adequate}, // within 10x
+		{1000, 1000, Adequate},
+		{10000, 1000, Adequate}, // exactly 10x is still adequate
+		{10001, 1000, OverTested},
+		{99, 1000, UnderTested}, // 99*10 < 1000
+	}
+	for _, c := range cases {
+		if got := Classify(c.freq, c.target, 10); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.freq, c.target, got, c.want)
+		}
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	freqs := []int64{0, 5, 1000, 100000}
+	counts := ClassifyAll(freqs, 1000, 10)
+	if counts[Untested] != 1 || counts[UnderTested] != 1 ||
+		counts[Adequate] != 1 || counts[OverTested] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestAdequacyString(t *testing.T) {
+	if Untested.String() != "untested" || OverTested.String() != "over-tested" {
+		t.Error("bad adequacy strings")
+	}
+	if Adequacy(42).String() != "unknown" {
+		t.Error("bad unknown string")
+	}
+}
+
+func TestEmptyVectors(t *testing.T) {
+	if UniformTCD(nil, 10) != 0 || LinearTCD(nil, 10) != 0 {
+		t.Error("empty vector should yield 0")
+	}
+}

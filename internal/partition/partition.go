@@ -1,0 +1,270 @@
+// Package partition implements the input- and output-space partitioning at
+// the heart of IOCov (§3). Each of the paper's four argument classes gets a
+// partitioning scheme:
+//
+//   - bitmap arguments (open flags, mode bits) partition per flag, so one
+//     call can hit several partitions;
+//   - numeric arguments (byte counts, offsets, lengths) partition by powers
+//     of two, with dedicated boundary partitions for zero and negative
+//     values;
+//   - categorical arguments (lseek whence, setxattr flags) partition per
+//     value, plus an "invalid" partition for out-of-domain values;
+//   - identifier arguments (fds, pathnames) are recorded but not
+//     partitioned by default, matching the paper's future-work boundary.
+//
+// Outputs partition into success — subdivided by powers of two when the
+// syscall returns a byte count — and one partition per errno.
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+
+	"iocov/internal/sys"
+	"iocov/internal/sysspec"
+)
+
+// MaxLog2 is the largest power-of-two bucket tracked for numeric values
+// (2^63 covers the whole non-negative int64 range).
+const MaxLog2 = 63
+
+// Labels for the boundary partitions of numeric schemes.
+const (
+	LabelZero     = "=0"
+	LabelNegative = "<0"
+	LabelOK       = "OK"
+	LabelInvalid  = "invalid"
+)
+
+// Log2Label formats the power-of-two bucket label for exponent k, e.g.
+// "2^10" for values in [1024, 2047].
+func Log2Label(k int) string { return fmt.Sprintf("2^%d", k) }
+
+// Log2Bucket returns the bucket exponent for a positive value: the paper
+// rounds each value down to the nearest power-of-two boundary, so 1024-2047
+// all land in bucket 10.
+func Log2Bucket(v int64) int { return bits.Len64(uint64(v)) - 1 }
+
+// Input is a partitioning scheme for one argument class.
+type Input interface {
+	// Scheme returns the sysspec scheme name this partitioner implements.
+	Scheme() string
+	// Partitions returns the partition labels hit by one observed value.
+	// Bitmap schemes return one label per set flag; all other schemes
+	// return exactly one label.
+	Partitions(value int64) []string
+	// Domain returns every partition label in canonical report order.
+	Domain() []string
+}
+
+// ForScheme returns the Input partitioner for a sysspec scheme name, or nil
+// for identifier schemes (which are not partitioned).
+func ForScheme(scheme string) Input {
+	switch scheme {
+	case sysspec.SchemeOpenFlags:
+		return openFlagsScheme{}
+	case sysspec.SchemeModeBits:
+		return modeBitsScheme{}
+	case sysspec.SchemeBytes:
+		return BytesScheme{}
+	case sysspec.SchemeOffset:
+		return OffsetScheme{}
+	case sysspec.SchemeWhence:
+		return whenceScheme{}
+	case sysspec.SchemeXattrFlags:
+		return xattrFlagsScheme{}
+	default:
+		return nil
+	}
+}
+
+// BytesScheme partitions non-negative byte counts: "=0" then powers of two.
+// Negative values (which the kernel would reject) land in "<0" so malformed
+// traces remain visible rather than silently dropped.
+type BytesScheme struct{}
+
+// Scheme implements Input.
+func (BytesScheme) Scheme() string { return sysspec.SchemeBytes }
+
+// Partitions implements Input.
+func (BytesScheme) Partitions(v int64) []string {
+	switch {
+	case v < 0:
+		return []string{LabelNegative}
+	case v == 0:
+		return []string{LabelZero}
+	default:
+		return []string{Log2Label(Log2Bucket(v))}
+	}
+}
+
+// Domain implements Input.
+func (BytesScheme) Domain() []string {
+	out := make([]string, 0, MaxLog2+2)
+	out = append(out, LabelZero)
+	for k := 0; k <= MaxLog2; k++ {
+		out = append(out, Log2Label(k))
+	}
+	return out
+}
+
+// OffsetScheme partitions signed offsets: negative values get their own
+// boundary partition, since a negative offset is a distinct corner case
+// (EINVAL for lseek below zero, but legal relative seeks).
+type OffsetScheme struct{}
+
+// Scheme implements Input.
+func (OffsetScheme) Scheme() string { return sysspec.SchemeOffset }
+
+// Partitions implements Input.
+func (OffsetScheme) Partitions(v int64) []string {
+	switch {
+	case v < 0:
+		return []string{LabelNegative}
+	case v == 0:
+		return []string{LabelZero}
+	default:
+		return []string{Log2Label(Log2Bucket(v))}
+	}
+}
+
+// Domain implements Input.
+func (OffsetScheme) Domain() []string {
+	out := make([]string, 0, MaxLog2+3)
+	out = append(out, LabelNegative, LabelZero)
+	for k := 0; k <= MaxLog2; k++ {
+		out = append(out, Log2Label(k))
+	}
+	return out
+}
+
+// openFlagsScheme partitions the open flags bitmap per flag name.
+type openFlagsScheme struct{}
+
+func (openFlagsScheme) Scheme() string { return sysspec.SchemeOpenFlags }
+
+func (openFlagsScheme) Partitions(v int64) []string {
+	return sys.DecodeOpenFlags(int(v))
+}
+
+func (openFlagsScheme) Domain() []string {
+	out := make([]string, 0, len(sys.OpenFlagNames))
+	for _, f := range sys.OpenFlagNames {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// modeBitsScheme partitions a mode argument per permission bit; a zero mode
+// hits the "=0" boundary partition.
+type modeBitsScheme struct{}
+
+func (modeBitsScheme) Scheme() string { return sysspec.SchemeModeBits }
+
+func (modeBitsScheme) Partitions(v int64) []string {
+	names := sys.DecodeModeBits(uint32(v))
+	if len(names) == 0 {
+		return []string{LabelZero}
+	}
+	return names
+}
+
+func (modeBitsScheme) Domain() []string {
+	out := make([]string, 0, len(sys.ModeBitNames)+1)
+	out = append(out, LabelZero)
+	for _, b := range sys.ModeBitNames {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// whenceScheme partitions lseek's whence categorically.
+type whenceScheme struct{}
+
+func (whenceScheme) Scheme() string { return sysspec.SchemeWhence }
+
+func (whenceScheme) Partitions(v int64) []string {
+	if v >= 0 && v < int64(len(sys.WhenceNames)) {
+		return []string{sys.WhenceNames[v]}
+	}
+	return []string{LabelInvalid}
+}
+
+func (whenceScheme) Domain() []string {
+	return append(append([]string(nil), sys.WhenceNames...), LabelInvalid)
+}
+
+// xattrFlagsScheme partitions setxattr's flags categorically: 0,
+// XATTR_CREATE, XATTR_REPLACE, or invalid.
+type xattrFlagsScheme struct{}
+
+func (xattrFlagsScheme) Scheme() string { return sysspec.SchemeXattrFlags }
+
+func (xattrFlagsScheme) Partitions(v int64) []string {
+	switch int(v) {
+	case 0, sys.XATTR_CREATE, sys.XATTR_REPLACE:
+		return []string{sys.XattrFlagName(int(v))}
+	default:
+		return []string{LabelInvalid}
+	}
+}
+
+func (xattrFlagsScheme) Domain() []string {
+	return []string{"0", "XATTR_CREATE", "XATTR_REPLACE", LabelInvalid}
+}
+
+// Output partitions a syscall outcome. On failure the partition is the
+// errno name; on success it is "OK", refined to "OK:2^k" buckets when the
+// syscall returns a byte count or offset.
+func Output(ret sysspec.RetKind, retVal int64, err sys.Errno) string {
+	if err != sys.OK {
+		return err.Name()
+	}
+	switch ret {
+	case sysspec.RetBytes, sysspec.RetOffset:
+		if retVal <= 0 {
+			return LabelOK + ":" + LabelZero
+		}
+		return LabelOK + ":" + Log2Label(Log2Bucket(retVal))
+	default:
+		return LabelOK
+	}
+}
+
+// OutputDomain returns the canonical output partitions for a spec: the
+// success partitions followed by one per documented errno.
+func OutputDomain(spec *sysspec.Spec) []string {
+	var out []string
+	switch spec.Ret {
+	case sysspec.RetBytes, sysspec.RetOffset:
+		out = append(out, LabelOK+":"+LabelZero)
+		for k := 0; k <= MaxLog2; k++ {
+			out = append(out, LabelOK+":"+Log2Label(k))
+		}
+	default:
+		out = append(out, LabelOK)
+	}
+	for _, e := range spec.Errnos {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+// IsSuccess reports whether an output partition label is a success
+// partition.
+func IsSuccess(label string) bool {
+	return label == LabelOK || (len(label) > 3 && label[:3] == LabelOK+":")
+}
+
+// FlagComboSize counts how many named flags an open flags word combines
+// (the access mode counts as one flag, so the minimum is 1). Table 1 is
+// built from this.
+func FlagComboSize(flags int64) int {
+	return len(sys.DecodeOpenFlags(int(flags)))
+}
+
+// HasRdonly reports whether the flags word's access mode is O_RDONLY, which
+// is how Table 1's "O_RDONLY" rows restrict combinations.
+func HasRdonly(flags int64) bool {
+	return int(flags)&sys.O_ACCMODE == sys.O_RDONLY
+}

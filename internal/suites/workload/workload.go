@@ -1,0 +1,176 @@
+// Package workload provides the shared machinery of the simulated test
+// suites: deterministic weighted choice, the bucketed size distributions
+// used to calibrate write/read/xattr sizes against the paper's figures, and
+// small helpers for driving the simulated kernel.
+package workload
+
+import (
+	"math/rand"
+)
+
+// WeightedFlags is a distribution over open-flag words. Weights are
+// relative; they do not need to sum to anything in particular.
+type WeightedFlags struct {
+	entries []flagEntry
+	total   float64
+}
+
+type flagEntry struct {
+	flags  int
+	weight float64
+	cum    float64
+}
+
+// NewWeightedFlags builds the distribution from (flags, weight) pairs.
+func NewWeightedFlags(pairs []FlagWeight) *WeightedFlags {
+	w := &WeightedFlags{}
+	for _, p := range pairs {
+		if p.Weight <= 0 {
+			continue
+		}
+		w.total += p.Weight
+		w.entries = append(w.entries, flagEntry{flags: p.Flags, weight: p.Weight, cum: w.total})
+	}
+	return w
+}
+
+// FlagWeight is one (flags word, relative weight) pair.
+type FlagWeight struct {
+	Flags  int
+	Weight float64
+}
+
+// Pick draws one flags word.
+func (w *WeightedFlags) Pick(r *rand.Rand) int {
+	if len(w.entries) == 0 {
+		return 0
+	}
+	x := r.Float64() * w.total
+	lo, hi := 0, len(w.entries)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.entries[mid].cum < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return w.entries[lo].flags
+}
+
+// Entries exposes the distribution's support, for tests.
+func (w *WeightedFlags) Entries() []FlagWeight {
+	out := make([]FlagWeight, len(w.entries))
+	for i, e := range w.entries {
+		out[i] = FlagWeight{Flags: e.flags, Weight: e.weight}
+	}
+	return out
+}
+
+// BucketWeight assigns a relative weight to one power-of-two size bucket.
+// Bucket -1 is the "size equals zero" boundary partition.
+type BucketWeight struct {
+	Bucket int
+	Weight float64
+}
+
+// SizeDist is a distribution over power-of-two size buckets. Drawing first
+// picks a bucket by weight, then a uniform size within [2^k, 2^(k+1)), so
+// the resulting trace lands in exactly the paper's input partitions.
+type SizeDist struct {
+	entries []sizeEntry
+	total   float64
+	// Cap bounds the drawn size (the paper annotates xfstests' maximum
+	// write at 258 MiB); zero means no cap.
+	Cap int64
+}
+
+type sizeEntry struct {
+	bucket int
+	cum    float64
+}
+
+// NewSizeDist builds a size distribution.
+func NewSizeDist(buckets []BucketWeight, cap int64) *SizeDist {
+	d := &SizeDist{Cap: cap}
+	for _, b := range buckets {
+		if b.Weight <= 0 {
+			continue
+		}
+		d.total += b.Weight
+		d.entries = append(d.entries, sizeEntry{bucket: b.Bucket, cum: d.total})
+	}
+	return d
+}
+
+// Pick draws one size.
+func (d *SizeDist) Pick(r *rand.Rand) int64 {
+	if len(d.entries) == 0 {
+		return 0
+	}
+	x := r.Float64() * d.total
+	lo, hi := 0, len(d.entries)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.entries[mid].cum < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k := d.entries[lo].bucket
+	if k < 0 {
+		return 0
+	}
+	low := int64(1) << uint(k)
+	size := low + r.Int63n(low) // uniform in [2^k, 2^(k+1))
+	if d.Cap > 0 && size > d.Cap {
+		size = d.Cap
+	}
+	return size
+}
+
+// Buckets exposes the support, for tests.
+func (d *SizeDist) Buckets() []int {
+	out := make([]int, len(d.entries))
+	for i, e := range d.entries {
+		out[i] = e.bucket
+	}
+	return out
+}
+
+// ScaleCount applies a scale factor to an op count, always keeping at least
+// one op when the unscaled count is positive, so that scaled-down test runs
+// still cover every partition the full run covers (just less often).
+func ScaleCount(n int, scale float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if scale >= 1 {
+		return int(float64(n) * scale)
+	}
+	s := int(float64(n) * scale)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// SharedBuf hands out read-only slices of a single zero-filled buffer so
+// that large writes do not allocate per call. Not safe for concurrent use.
+type SharedBuf struct {
+	buf []byte
+}
+
+// NewSharedBuf allocates the backing buffer.
+func NewSharedBuf(max int64) *SharedBuf {
+	return &SharedBuf{buf: make([]byte, max)}
+}
+
+// Get returns an n-byte slice (n is clamped to the buffer size).
+func (b *SharedBuf) Get(n int64) []byte {
+	if n > int64(len(b.buf)) {
+		n = int64(len(b.buf))
+	}
+	return b.buf[:n]
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func TestWeightedFlagsDistribution(t *testing.T) {
+	w := NewWeightedFlags([]FlagWeight{
+		{Flags: sys.O_RDONLY, Weight: 70},
+		{Flags: sys.O_WRONLY, Weight: 20},
+		{Flags: sys.O_RDWR, Weight: 10},
+	})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[w.Pick(rng)]++
+	}
+	within := func(got int, wantFrac float64) bool {
+		return math.Abs(float64(got)/n-wantFrac) < 0.01
+	}
+	if !within(counts[sys.O_RDONLY], 0.70) || !within(counts[sys.O_WRONLY], 0.20) || !within(counts[sys.O_RDWR], 0.10) {
+		t.Errorf("distribution = %v", counts)
+	}
+}
+
+func TestWeightedFlagsSkipsNonPositive(t *testing.T) {
+	w := NewWeightedFlags([]FlagWeight{
+		{Flags: 1, Weight: 0},
+		{Flags: 2, Weight: -5},
+		{Flags: 3, Weight: 1},
+	})
+	if got := len(w.Entries()); got != 1 {
+		t.Errorf("entries = %d, want 1", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if w.Pick(rng) != 3 {
+			t.Fatal("picked a zero-weight entry")
+		}
+	}
+}
+
+func TestWeightedFlagsEmpty(t *testing.T) {
+	w := NewWeightedFlags(nil)
+	rng := rand.New(rand.NewSource(1))
+	if w.Pick(rng) != 0 {
+		t.Error("empty distribution should pick 0")
+	}
+}
+
+func TestSizeDistBuckets(t *testing.T) {
+	d := NewSizeDist([]BucketWeight{
+		{Bucket: -1, Weight: 1},
+		{Bucket: 4, Weight: 1},
+		{Bucket: 10, Weight: 1},
+	}, 0)
+	rng := rand.New(rand.NewSource(2))
+	sawZero, saw4, saw10 := false, false, false
+	for i := 0; i < 10_000; i++ {
+		v := d.Pick(rng)
+		switch {
+		case v == 0:
+			sawZero = true
+		case v >= 16 && v < 32:
+			saw4 = true
+		case v >= 1024 && v < 2048:
+			saw10 = true
+		default:
+			t.Fatalf("size %d outside every configured bucket", v)
+		}
+	}
+	if !sawZero || !saw4 || !saw10 {
+		t.Errorf("buckets missed: zero=%v 4=%v 10=%v", sawZero, saw4, saw10)
+	}
+}
+
+func TestSizeDistCap(t *testing.T) {
+	d := NewSizeDist([]BucketWeight{{Bucket: 28, Weight: 1}}, 258<<20)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if v := d.Pick(rng); v > 258<<20 {
+			t.Fatalf("size %d exceeds cap", v)
+		}
+	}
+}
+
+func TestSizeDistEmpty(t *testing.T) {
+	d := NewSizeDist(nil, 0)
+	rng := rand.New(rand.NewSource(1))
+	if d.Pick(rng) != 0 {
+		t.Error("empty dist should pick 0")
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	cases := []struct {
+		n     int
+		scale float64
+		want  int
+	}{
+		{1000, 1.0, 1000},
+		{1000, 0.5, 500},
+		{1000, 2.0, 2000},
+		{1000, 0.0001, 1}, // floor of 1 preserves coverage
+		{0, 0.5, 0},
+		{-5, 1.0, 0},
+	}
+	for _, c := range cases {
+		if got := ScaleCount(c.n, c.scale); got != c.want {
+			t.Errorf("ScaleCount(%d,%g) = %d, want %d", c.n, c.scale, got, c.want)
+		}
+	}
+}
+
+func TestSharedBuf(t *testing.T) {
+	b := NewSharedBuf(1024)
+	if got := len(b.Get(100)); got != 100 {
+		t.Errorf("Get(100) len = %d", got)
+	}
+	if got := len(b.Get(4096)); got != 1024 {
+		t.Errorf("Get over capacity len = %d, want clamp to 1024", got)
+	}
+	if got := len(b.Get(0)); got != 0 {
+		t.Errorf("Get(0) len = %d", got)
+	}
+}

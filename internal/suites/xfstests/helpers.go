@@ -1,0 +1,17 @@
+package xfstests
+
+import (
+	"iocov/internal/kernel"
+	"iocov/internal/vfs"
+)
+
+func kernelOpenHow(flags int, mode uint32, resolve int) kernel.OpenHow {
+	return kernel.OpenHow{Flags: flags, Mode: mode, Resolve: resolve}
+}
+
+// kernelProcTight returns the options for the EMFILE-limit test process.
+func kernelProcTight() kernel.ProcOptions {
+	return kernel.ProcOptions{Cred: vfs.Root, MaxFDs: 16}
+}
+
+func vfsRoot() vfs.Cred { return vfs.Root }

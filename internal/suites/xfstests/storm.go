@@ -1,0 +1,337 @@
+package xfstests
+
+import (
+	"fmt"
+
+	"iocov/internal/suites/workload"
+	"iocov/internal/sys"
+)
+
+// storm runs the distribution-driven bulk of the suite. The scenario
+// templates (tests.go) give the run its error-path breadth; the storm gives
+// it the paper's magnitudes: open-flag frequencies, Table 1 combination
+// percentages, and the Figure 3 write-size profile all emerge from the
+// weights in xfstests.go.
+func (r *runner) storm() {
+	r.stormOpens()
+	r.stormWrites()
+	r.stormReads()
+	r.stormLseeks()
+	r.stormTruncates()
+	r.stormMkdirs()
+	r.stormChmods()
+	r.stormXattrs()
+}
+
+func (r *runner) stormOpens() {
+	p := r.root
+	combos := workload.NewWeightedFlags(openCombos)
+	n := workload.ScaleCount(stormOpens, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		flags := combos.Pick(r.rng)
+		var path string
+		excl := flags&sys.O_EXCL != 0
+		switch {
+		case flags&sys.O_DIRECTORY != 0:
+			path = r.poolDirs[r.rng.Intn(len(r.poolDirs))]
+		case excl:
+			path = fmt.Sprintf("%s/excl-%d", r.mnt, i)
+		default:
+			path = r.poolFiles[r.rng.Intn(len(r.poolFiles))]
+		}
+		var fd int
+		var e sys.Errno
+		switch v := r.rng.Intn(100); {
+		case v < 70:
+			fd, e = p.Open(path, flags, 0o644)
+		case v < 95:
+			fd, e = p.Openat(sys.AT_FDCWD, path, flags, 0o644)
+		case v < 99:
+			fd, e = p.Openat2(sys.AT_FDCWD, path, kernelOpenHow(flags, 0o644, 0))
+		default:
+			// creat carries no flags word, so it contributes to output
+			// coverage and variant merging without touching Table 1.
+			fd, e = p.Creat(fmt.Sprintf("%s/creat-%d", r.mnt, i), 0o644)
+			if e == sys.OK {
+				r.check(p.Close(fd))
+				r.check(p.Unlink(fmt.Sprintf("%s/creat-%d", r.mnt, i)))
+			} else {
+				r.check(e)
+			}
+			continue
+		}
+		r.check(e)
+		if e == sys.OK {
+			r.check(p.Close(fd))
+			if excl {
+				r.check(p.Unlink(path))
+			}
+		}
+	}
+}
+
+func (r *runner) stormWrites() {
+	p := r.root
+	dist := workload.NewSizeDist(writeSizes, MaxWriteSize)
+	small := r.mnt + "/storm-w"
+	big := r.mnt + "/storm-wbig"
+	sfd, e := p.Open(small, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
+	r.check(e)
+	bfd, e2 := p.Open(big, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
+	r.check(e2)
+	if e != sys.OK || e2 != sys.OK {
+		return
+	}
+	const smallLimit = 4 << 20 // rotate the sequential file at 4 MiB
+	var pos int64
+	n := workload.ScaleCount(stormWrites, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		size := dist.Pick(r.rng)
+		switch {
+		case size > smallLimit:
+			// Big writes land at offset 0 of the dedicated file so the
+			// filesystem footprint stays bounded at one max-size extent.
+			_, we := p.Pwrite64(bfd, r.buf.Get(size), 0)
+			r.check(we)
+		case r.rng.Intn(100) < 8:
+			_, we := p.Pwrite64(sfd, r.buf.Get(size), int64(r.rng.Intn(smallLimit)))
+			r.check(we)
+		case r.rng.Intn(100) < 5 && size >= 2:
+			half := size / 2
+			_, we := p.Writev(sfd, [][]byte{r.buf.Get(half), r.buf.Get(size - half)})
+			r.check(we)
+			pos += size
+		default:
+			_, we := p.Write(sfd, r.buf.Get(size))
+			r.check(we)
+			pos += size
+		}
+		if pos > smallLimit {
+			_, se := p.Lseek(sfd, 0, sys.SEEK_SET)
+			r.check(se)
+			pos = 0
+		}
+	}
+	r.check(p.Close(sfd))
+	r.check(p.Close(bfd))
+	r.check(p.Unlink(small))
+	r.check(p.Unlink(big))
+}
+
+func (r *runner) stormReads() {
+	p := r.root
+	dist := workload.NewSizeDist(readSizes, 1<<20)
+	f := r.mnt + "/storm-r"
+	wfd, e := p.Open(f, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	const fileSize = 1 << 20
+	_, we := p.Write(wfd, r.buf.Get(fileSize))
+	r.check(we)
+	r.check(p.Close(wfd))
+	fd, e := p.Open(f, sys.O_RDONLY, 0)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	rbuf := make([]byte, 1<<20)
+	var pos int64
+	n := workload.ScaleCount(stormReads, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		size := dist.Pick(r.rng)
+		switch v := r.rng.Intn(100); {
+		case v < 15:
+			_, re := p.Pread64(fd, rbuf[:size], int64(r.rng.Intn(fileSize)))
+			r.check(re)
+		case v < 20 && size >= 2:
+			half := size / 2
+			_, re := p.Readv(fd, [][]byte{rbuf[:half], rbuf[half:size]})
+			r.check(re)
+			pos += size
+		default:
+			_, re := p.Read(fd, rbuf[:size])
+			r.check(re)
+			pos += size
+		}
+		if pos >= fileSize {
+			_, se := p.Lseek(fd, 0, sys.SEEK_SET)
+			r.check(se)
+			pos = 0
+		}
+	}
+	r.check(p.Close(fd))
+	r.check(p.Unlink(f))
+}
+
+func (r *runner) stormLseeks() {
+	p := r.root
+	f := r.mnt + "/storm-s"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	_, we := p.Write(fd, r.buf.Get(1<<20))
+	r.check(we)
+	offsets := workload.NewSizeDist([]workload.BucketWeight{
+		{Bucket: -1, Weight: 30}, {Bucket: 0, Weight: 4}, {Bucket: 4, Weight: 6},
+		{Bucket: 9, Weight: 12}, {Bucket: 12, Weight: 20}, {Bucket: 16, Weight: 14},
+		{Bucket: 19, Weight: 8}, {Bucket: 24, Weight: 3}, {Bucket: 30, Weight: 1},
+	}, 0)
+	n := workload.ScaleCount(stormLseeks, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		off := offsets.Pick(r.rng)
+		var whence int
+		switch v := r.rng.Intn(1000); {
+		case v < 700:
+			whence = sys.SEEK_SET
+		case v < 850:
+			whence = sys.SEEK_CUR
+			if r.rng.Intn(4) == 0 {
+				off = -off // negative relative seeks
+			}
+		case v < 950:
+			whence = sys.SEEK_END
+			off = -off // stay inside the file
+		case v < 975:
+			whence = sys.SEEK_DATA
+		default:
+			whence = sys.SEEK_HOLE
+		}
+		_, se := p.Lseek(fd, off, whence)
+		r.check(se)
+	}
+	r.check(p.Close(fd))
+	r.check(p.Unlink(f))
+}
+
+func (r *runner) stormTruncates() {
+	p := r.root
+	dist := workload.NewSizeDist(truncLengths, 64<<20)
+	f := r.mnt + "/storm-t"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	n := workload.ScaleCount(stormTruncates, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		length := dist.Pick(r.rng)
+		if r.rng.Intn(10) < 3 {
+			r.check(p.Ftruncate(fd, length))
+		} else {
+			r.check(p.Truncate(f, length))
+		}
+	}
+	r.check(p.Ftruncate(fd, 0))
+	r.check(p.Close(fd))
+	r.check(p.Unlink(f))
+}
+
+func (r *runner) stormMkdirs() {
+	p := r.root
+	n := workload.ScaleCount(stormMkdirs, r.cfg.Scale)
+	for i := 0; i < n; i++ {
+		d := fmt.Sprintf("%s/storm-d%03d", r.mnt, i%256)
+		mode := mkdirModes[r.rng.Intn(len(mkdirModes))]
+		if r.rng.Intn(5) == 0 {
+			r.check(p.Mkdirat(sys.AT_FDCWD, d, mode))
+		} else {
+			r.check(p.Mkdir(d, mode))
+		}
+		if i%256 >= 128 || r.rng.Intn(2) == 0 {
+			r.check(p.Rmdir(d))
+		}
+	}
+	for i := 0; i < 256; i++ {
+		_ = p.Rmdir(fmt.Sprintf("%s/storm-d%03d", r.mnt, i))
+	}
+}
+
+func (r *runner) stormChmods() {
+	p := r.root
+	n := workload.ScaleCount(stormChmods, r.cfg.Scale)
+	fd, e := p.Open(r.poolFiles[0], sys.O_RDWR, 0)
+	r.check(e)
+	for i := 0; i < n; i++ {
+		mode := chmodModes[r.rng.Intn(len(chmodModes))]
+		target := r.poolFiles[r.rng.Intn(len(r.poolFiles))]
+		switch v := r.rng.Intn(10); {
+		case v < 6:
+			r.check(p.Chmod(target, mode))
+		case v < 8 && e == sys.OK:
+			r.check(p.Fchmod(fd, mode))
+		default:
+			r.check(p.Fchmodat(sys.AT_FDCWD, target, mode, 0))
+		}
+	}
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	// Restore pool permissions for later phases.
+	for _, f := range r.poolFiles {
+		r.check(p.Chmod(f, 0o666))
+	}
+}
+
+func (r *runner) stormXattrs() {
+	p := r.root
+	dist := workload.NewSizeDist(xattrSizes, 60000)
+	f := r.mnt + "/storm-x"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	r.check(p.Symlink(f, r.mnt+"/storm-xl"))
+	nset := workload.ScaleCount(stormSetxattrs, r.cfg.Scale)
+	for i := 0; i < nset; i++ {
+		name := fmt.Sprintf("user.s%d", i%4)
+		size := dist.Pick(r.rng)
+		var flags int
+		switch v := r.rng.Intn(10); {
+		case v < 8:
+			flags = 0
+		case v < 9:
+			flags = sys.XATTR_CREATE
+		default:
+			flags = sys.XATTR_REPLACE
+		}
+		switch v := r.rng.Intn(10); {
+		case v < 7:
+			r.check(p.Setxattr(f, name, r.buf.Get(size), flags))
+		case v < 9:
+			r.check(p.Fsetxattr(fd, name, r.buf.Get(size), flags))
+		default:
+			r.check(p.Lsetxattr(r.mnt+"/storm-xl", name, r.buf.Get(size), flags))
+		}
+	}
+	nget := workload.ScaleCount(stormGetxattrs, r.cfg.Scale)
+	gbuf := make([]byte, 1<<16)
+	for i := 0; i < nget; i++ {
+		name := fmt.Sprintf("user.s%d", i%4)
+		if r.rng.Intn(10) == 0 {
+			name = "user.absent" // ENODATA path
+		}
+		size := dist.Pick(r.rng)
+		if size > int64(len(gbuf)) {
+			size = int64(len(gbuf))
+		}
+		switch v := r.rng.Intn(10); {
+		case v < 7:
+			_, ge := p.Getxattr(f, name, gbuf[:size])
+			r.check(ge)
+		case v < 9:
+			_, ge := p.Fgetxattr(fd, name, gbuf[:size])
+			r.check(ge)
+		default:
+			_, ge := p.Lgetxattr(r.mnt+"/storm-xl", name, gbuf[:size])
+			r.check(ge)
+		}
+	}
+	r.check(p.Close(fd))
+	r.check(p.Unlink(r.mnt + "/storm-xl"))
+	r.check(p.Unlink(f))
+}

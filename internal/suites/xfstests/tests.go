@@ -1,0 +1,445 @@
+package xfstests
+
+import (
+	"fmt"
+	"strings"
+
+	"iocov/internal/sys"
+)
+
+// runTests executes the hand-written-style scenario templates: each of the
+// 706 generic + 308 ext4 tests runs one template chosen round-robin. The
+// templates are where the suite's deliberate error-path coverage comes from
+// (Figure 4's breadth), alongside realistic regression sequences.
+func (r *runner) runTests() {
+	templates := []func(int){
+		r.tmplCreateWriteRead,
+		r.tmplErrorPathsOpen,
+		r.tmplDirOps,
+		r.tmplSeekFamily,
+		r.tmplTruncateFamily,
+		r.tmplXattrFamily,
+		r.tmplPermissions,
+		r.tmplSymlinks,
+		r.tmplResourceLimits,
+		r.tmplReadonlyMount,
+		r.tmplBigFiles,
+		r.tmplVectoredIO,
+	}
+	total := r.cfg.GenericTests + r.cfg.FSTests
+	// At small scales run a subset of tests, but never fewer than one pass
+	// over every template so coverage stays complete.
+	n := total
+	if r.cfg.Scale < 1 {
+		n = int(float64(total) * r.cfg.Scale)
+		if n < len(templates) {
+			n = len(templates)
+		}
+	}
+	for i := 0; i < n; i++ {
+		templates[i%len(templates)](i)
+		r.stats.Tests++
+	}
+}
+
+// dir returns a per-test scratch directory.
+func (r *runner) testDir(i int) string {
+	d := fmt.Sprintf("%s/t%04d", r.mnt, i)
+	r.check(r.root.Mkdir(d, 0o777))
+	return d
+}
+
+func (r *runner) rmTestDir(d string) {
+	// Best-effort recursive cleanup of the flat per-test directory.
+	names, e := r.k.FS().ReadDir(r.k.FS().Root(), vfsRoot(), d)
+	if e == sys.OK {
+		for _, n := range names {
+			p := d + "/" + n
+			if st, e := r.root.Lstat(p); e == sys.OK && st.Type.String() == "dir" {
+				_ = r.root.Rmdir(p)
+			} else {
+				_ = r.root.Unlink(p)
+			}
+		}
+	}
+	_ = r.root.Rmdir(d)
+}
+
+// tmplCreateWriteRead is the classic data-integrity regression: create,
+// write a pattern at several offsets and sizes, read it back.
+func (r *runner) tmplCreateWriteRead(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	f := d + "/data"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR|sys.O_TRUNC, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	for j := 0; j < 8; j++ {
+		size := int64(1) << uint(r.rng.Intn(14))
+		_, we := p.Write(fd, r.buf.Get(size))
+		r.check(we)
+	}
+	_, e = p.Lseek(fd, 0, sys.SEEK_SET)
+	r.check(e)
+	rb := make([]byte, 8192)
+	for {
+		n, e := p.Read(fd, rb)
+		r.check(e)
+		if e != sys.OK || n == 0 {
+			break
+		}
+	}
+	r.check(p.Close(fd))
+	// Reopen read-only and spot-check with pread.
+	fd, e = p.Open(f, sys.O_RDONLY, 0)
+	r.check(e)
+	if e == sys.OK {
+		_, pe := p.Pread64(fd, rb[:512], 1024)
+		r.check(pe)
+		r.check(p.Close(fd))
+	}
+}
+
+// tmplErrorPathsOpen deliberately walks open's documented failure modes.
+func (r *runner) tmplErrorPathsOpen(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	// ENOENT: open a missing file.
+	_, e := p.Open(d+"/missing", sys.O_RDONLY, 0)
+	r.check(e)
+	// EEXIST: exclusive create of an existing file.
+	fd, e := p.Open(d+"/f", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	_, e = p.Open(d+"/f", sys.O_CREAT|sys.O_EXCL|sys.O_WRONLY, 0o644)
+	r.check(e)
+	// EISDIR: write-open a directory.
+	_, e = p.Open(d, sys.O_WRONLY, 0)
+	r.check(e)
+	// ENOTDIR: path through a regular file, and O_DIRECTORY on a file.
+	_, e = p.Open(d+"/f/sub", sys.O_RDONLY, 0)
+	r.check(e)
+	_, e = p.Open(d+"/f", sys.O_RDONLY|sys.O_DIRECTORY, 0)
+	r.check(e)
+	// EINVAL: contradictory access mode.
+	_, e = p.Open(d+"/f", sys.O_ACCMODE, 0)
+	r.check(e)
+	// ENAMETOOLONG: a 300-byte component.
+	_, e = p.Open(d+"/"+strings.Repeat("x", 300), sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e)
+}
+
+// tmplDirOps exercises mkdir/mkdirat and directory errno paths.
+func (r *runner) tmplDirOps(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	r.check(p.Mkdir(d+"/sub", mkdirModes[i%len(mkdirModes)]))
+	// EEXIST and ENOENT paths.
+	r.check(p.Mkdir(d+"/sub", 0o755))
+	r.check(p.Mkdir(d+"/no/such/parent", 0o755))
+	// mkdirat relative to an open directory fd.
+	dfd, e := p.Open(d, sys.O_RDONLY|sys.O_DIRECTORY, 0)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Mkdirat(dfd, "atdir", 0o700))
+		r.check(p.Fchdir(dfd))
+		r.check(p.Chdir("/"))
+		r.check(p.Close(dfd))
+	}
+	// chdir into the tree and back; ENOTDIR on a file.
+	r.check(p.Chdir(d + "/sub"))
+	r.check(p.Chdir("/"))
+	fd, e := p.Open(d+"/plain", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	r.check(p.Chdir(d + "/plain"))
+	_ = p.Rmdir(d + "/sub/atdir")
+	_ = p.Rmdir(d + "/sub")
+	_ = p.Rmdir(d + "/atdir")
+}
+
+// tmplSeekFamily covers every whence value and lseek's errno paths.
+func (r *runner) tmplSeekFamily(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	fd, e := p.Open(d+"/f", sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	_, we := p.Write(fd, r.buf.Get(64*1024))
+	r.check(we)
+	for _, w := range []int{sys.SEEK_SET, sys.SEEK_CUR, sys.SEEK_END, sys.SEEK_DATA, sys.SEEK_HOLE} {
+		_, e := p.Lseek(fd, int64(r.rng.Intn(32*1024)), w)
+		r.check(e)
+	}
+	// Negative offsets: legal with SEEK_END, EINVAL when the result is
+	// negative with SEEK_SET.
+	_, e = p.Lseek(fd, -4096, sys.SEEK_END)
+	r.check(e)
+	_, e = p.Lseek(fd, -1, sys.SEEK_SET)
+	r.check(e)
+	// ENXIO: SEEK_DATA beyond EOF; EINVAL: bad whence; EBADF.
+	_, e = p.Lseek(fd, 1<<20, sys.SEEK_DATA)
+	r.check(e)
+	_, e = p.Lseek(fd, 0, 42)
+	r.check(e)
+	r.check(p.Close(fd))
+	_, e = p.Lseek(fd, 0, sys.SEEK_SET)
+	r.check(e)
+}
+
+// tmplTruncateFamily covers truncate/ftruncate including EFBIG and ENOSPC.
+func (r *runner) tmplTruncateFamily(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	f := d + "/t"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	_, we := p.Write(fd, r.buf.Get(1<<16))
+	r.check(we)
+	r.check(p.Truncate(f, 1<<10))
+	r.check(p.Ftruncate(fd, 0))
+	r.check(p.Truncate(f, 1<<20)) // grow sparse
+	// EINVAL: negative length. EFBIG: beyond max file size.
+	r.check(p.Truncate(f, -1))
+	r.check(p.Truncate(f, 64<<40))
+	// Sparse expansion beyond device capacity succeeds (holes are not
+	// allocated); restore afterwards.
+	r.check(p.Truncate(f, r.k.FS().Config().CapacityBytes*2))
+	r.check(p.Truncate(f, 0))
+	// EISDIR and ENOENT paths.
+	r.check(p.Truncate(d, 0))
+	r.check(p.Truncate(d+"/none", 0))
+	// ftruncate on read-only fd (EINVAL) and bad fd (EBADF).
+	r.check(p.Close(fd))
+	rfd, e := p.Open(f, sys.O_RDONLY, 0)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Ftruncate(rfd, 0))
+		r.check(p.Close(rfd))
+	}
+	r.check(p.Ftruncate(999, 0))
+}
+
+// tmplXattrFamily covers all six xattr syscalls and their errno paths.
+// Deliberately, the value sizes stop short of the exact maximum — that is
+// the gap Figure 1's bug hides in.
+func (r *runner) tmplXattrFamily(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	f := d + "/x"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	r.check(p.Setxattr(f, "user.one", r.buf.Get(16), 0))
+	r.check(p.Setxattr(f, "user.two", r.buf.Get(512), sys.XATTR_CREATE))
+	r.check(p.Fsetxattr(fd, "user.three", r.buf.Get(2048), 0))
+	// Replacement and its failure modes.
+	r.check(p.Setxattr(f, "user.one", r.buf.Get(32), sys.XATTR_REPLACE))
+	r.check(p.Setxattr(f, "user.one", nil, sys.XATTR_CREATE))   // EEXIST
+	r.check(p.Setxattr(f, "user.none", nil, sys.XATTR_REPLACE)) // ENODATA
+	r.check(p.Setxattr(f, "bogus.ns", r.buf.Get(8), 0))         // ENOTSUP
+	r.check(p.Setxattr(f, "user.big", r.buf.Get(1<<20), 0))     // E2BIG
+	buf := make([]byte, 4096)
+	n, e := p.Getxattr(f, "user.two", buf)
+	r.check(e)
+	_ = n
+	_, e = p.Getxattr(f, "user.two", nil) // size query
+	r.check(e)
+	_, e = p.Getxattr(f, "user.two", buf[:4]) // ERANGE
+	r.check(e)
+	_, e = p.Getxattr(f, "user.none", buf) // ENODATA
+	r.check(e)
+	_, e = p.Fgetxattr(fd, "user.three", buf)
+	r.check(e)
+	// Symlink-aware variants.
+	r.check(p.Symlink(f, d+"/lx"))
+	r.check(p.Lsetxattr(d+"/lx", "user.link", r.buf.Get(8), 0))
+	_, e = p.Lgetxattr(d+"/lx", "user.link", buf)
+	r.check(e)
+	r.check(p.Close(fd))
+}
+
+// tmplPermissions drives chmod and the EACCES/EPERM paths with the
+// unprivileged process.
+func (r *runner) tmplPermissions(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	root, user := r.root, r.user
+	f := d + "/secret"
+	fd, e := root.Open(f, sys.O_CREAT|sys.O_WRONLY, 0o600)
+	r.check(e)
+	if e == sys.OK {
+		r.check(root.Close(fd))
+	}
+	for _, m := range []uint32{0o600, 0, 0o4755, 0o1777, 0o444} {
+		r.check(root.Chmod(f, m))
+	}
+	// Finish at 0600 root-owned: the unprivileged open must fail.
+	r.check(root.Chmod(f, 0o600))
+	_, e = user.Open(f, sys.O_RDONLY, 0)
+	r.check(e) // EACCES
+	// Unprivileged chmod of a root file: EPERM.
+	r.check(user.Chmod(f, 0o777))
+	// fchmod/fchmodat coverage.
+	fd, e = root.Open(f, sys.O_RDWR, 0)
+	r.check(e)
+	if e == sys.OK {
+		r.check(root.Fchmod(fd, 0o640))
+		r.check(root.Close(fd))
+	}
+	r.check(root.Fchmodat(sys.AT_FDCWD, f, 0o644, 0))
+	r.check(root.Fchmodat(sys.AT_FDCWD, f, 0o644, sys.AT_SYMLINK_NOFOLLOW)) // ENOTSUP
+}
+
+// tmplSymlinks covers symlink resolution, ELOOP, and openat2 resolve modes.
+func (r *runner) tmplSymlinks(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	f := d + "/target"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	r.check(p.Symlink(f, d+"/ln"))
+	fd, e = p.Open(d+"/ln", sys.O_RDONLY, 0)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	// O_NOFOLLOW on the link: ELOOP.
+	_, e = p.Open(d+"/ln", sys.O_RDONLY|sys.O_NOFOLLOW, 0)
+	r.check(e)
+	// A two-link cycle: ELOOP by depth.
+	r.check(p.Symlink(d+"/c2", d+"/c1"))
+	r.check(p.Symlink(d+"/c1", d+"/c2"))
+	_, e = p.Open(d+"/c1", sys.O_RDONLY, 0)
+	r.check(e)
+	// openat2 with RESOLVE_NO_SYMLINKS.
+	_, e = p.Openat2(sys.AT_FDCWD, d+"/ln", kernelOpenHow(sys.O_RDONLY, 0, sys.RESOLVE_NO_SYMLINKS))
+	r.check(e)
+	fd, e = p.Openat2(sys.AT_FDCWD, f, kernelOpenHow(sys.O_RDONLY, 0, 0))
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+}
+
+// tmplResourceLimits drives the descriptor-limit errnos (EMFILE) with a
+// dedicated tight-limit process.
+func (r *runner) tmplResourceLimits(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	tight := r.k.NewProc(kernelProcTight())
+	var fds []int
+	for j := 0; j < 20; j++ {
+		f := fmt.Sprintf("%s/lim%02d", d, j)
+		fd, e := tight.Open(f, sys.O_CREAT|sys.O_WRONLY, 0o644)
+		r.check(e)
+		if e == sys.OK {
+			fds = append(fds, fd)
+		}
+	}
+	for _, fd := range fds {
+		r.check(tight.Close(fd))
+	}
+	// EBADF family on the main proc.
+	_, e := r.root.Read(12345, make([]byte, 8))
+	r.check(e)
+	_, e = r.root.Write(12345, r.buf.Get(8))
+	r.check(e)
+	r.check(r.root.Close(12345))
+}
+
+// tmplReadonlyMount remounts read-only and exercises the EROFS paths.
+func (r *runner) tmplReadonlyMount(i int) {
+	d := r.testDir(i)
+	p := r.root
+	f := d + "/ro"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e)
+	if e == sys.OK {
+		r.check(p.Close(fd))
+	}
+	fs := r.k.FS()
+	fs.SetReadOnly(true)
+	_, e = p.Open(d+"/new", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	r.check(e) // EROFS
+	_, e = p.Open(f, sys.O_WRONLY, 0)
+	r.check(e) // EROFS
+	r.check(p.Mkdir(d+"/rodir", 0o755))
+	r.check(p.Truncate(f, 0))
+	r.check(p.Chmod(f, 0o600))
+	r.check(p.Setxattr(f, "user.ro", nil, 0))
+	fs.SetReadOnly(false)
+	r.rmTestDir(d)
+}
+
+// tmplBigFiles covers the large-file boundary: EOVERFLOW without
+// O_LARGEFILE is NOT exercised (the suite, like the real one per [62],
+// leaves O_LARGEFILE untested) but large sparse files and big reads are.
+func (r *runner) tmplBigFiles(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	f := d + "/big"
+	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	// Sparse file via a large seek + small write.
+	_, se := p.Lseek(fd, 900<<20, sys.SEEK_SET)
+	r.check(se)
+	_, we := p.Write(fd, r.buf.Get(4096))
+	r.check(we)
+	// Read back across the hole.
+	_, pe := p.Pread64(fd, make([]byte, 1<<16), 450<<20)
+	r.check(pe)
+	r.check(p.Ftruncate(fd, 0))
+	r.check(p.Close(fd))
+}
+
+// tmplVectoredIO covers readv/writev.
+func (r *runner) tmplVectoredIO(i int) {
+	d := r.testDir(i)
+	defer r.rmTestDir(d)
+	p := r.root
+	fd, e := p.Open(d+"/v", sys.O_CREAT|sys.O_RDWR, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	iovs := [][]byte{r.buf.Get(100), r.buf.Get(4096), r.buf.Get(13)}
+	_, we := p.Writev(fd, iovs)
+	r.check(we)
+	_, se := p.Lseek(fd, 0, sys.SEEK_SET)
+	r.check(se)
+	rv := [][]byte{make([]byte, 50), make([]byte, 8192)}
+	_, re := p.Readv(fd, rv)
+	r.check(re)
+	// Empty vector list: 0 bytes, success.
+	_, we = p.Writev(fd, nil)
+	r.check(we)
+	r.check(p.Close(fd))
+}

@@ -1,0 +1,150 @@
+// Package sys defines the Linux x86-64 ABI constants that the simulated
+// kernel, the tracer, and the IOCov analyzer share: errno values, open(2)
+// flags, file mode bits, lseek whence values, and the AT_*/XATTR_* argument
+// constants of the traced syscalls.
+//
+// The numeric values match the real Linux ABI so that traces produced by the
+// simulated kernel partition exactly like traces captured on real hardware.
+package sys
+
+import "fmt"
+
+// Errno is a Linux errno value. The zero value OK means success.
+//
+// Syscalls in this repository return Errno instead of error so that the
+// kernel's exit paths stay faithful to the ABI: a traced syscall either
+// succeeds with a non-negative return value or fails with exactly one errno.
+type Errno int
+
+// Errno values (Linux x86-64 generic numbers).
+const (
+	OK           Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	ESRCH        Errno = 3
+	EINTR        Errno = 4
+	EIO          Errno = 5
+	ENXIO        Errno = 6
+	E2BIG        Errno = 7
+	EBADF        Errno = 9
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	EXDEV        Errno = 18
+	ENODEV       Errno = 19
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	ENFILE       Errno = 23
+	EMFILE       Errno = 24
+	ENOTTY       Errno = 25
+	ETXTBSY      Errno = 26
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	ESPIPE       Errno = 29
+	EROFS        Errno = 30
+	EMLINK       Errno = 31
+	EPIPE        Errno = 32
+	ERANGE       Errno = 34
+	ENAMETOOLONG Errno = 36
+	ELOOP        Errno = 40
+	ENODATA      Errno = 61
+	EOVERFLOW    Errno = 75
+	ENOTSUP      Errno = 95
+	EDQUOT       Errno = 122
+
+	// EWOULDBLOCK is an alias for EAGAIN on Linux.
+	EWOULDBLOCK = EAGAIN
+)
+
+var errnoNames = map[Errno]string{
+	OK:           "OK",
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	ESRCH:        "ESRCH",
+	EINTR:        "EINTR",
+	EIO:          "EIO",
+	ENXIO:        "ENXIO",
+	E2BIG:        "E2BIG",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EACCES:       "EACCES",
+	EFAULT:       "EFAULT",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	EXDEV:        "EXDEV",
+	ENODEV:       "ENODEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	ENFILE:       "ENFILE",
+	EMFILE:       "EMFILE",
+	ENOTTY:       "ENOTTY",
+	ETXTBSY:      "ETXTBSY",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	ESPIPE:       "ESPIPE",
+	EROFS:        "EROFS",
+	EMLINK:       "EMLINK",
+	EPIPE:        "EPIPE",
+	ERANGE:       "ERANGE",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ELOOP:        "ELOOP",
+	ENODATA:      "ENODATA",
+	EOVERFLOW:    "EOVERFLOW",
+	ENOTSUP:      "ENOTSUP",
+	EDQUOT:       "EDQUOT",
+}
+
+var errnoByName = func() map[string]Errno {
+	m := make(map[string]Errno, len(errnoNames))
+	for e, n := range errnoNames {
+		m[n] = e
+	}
+	// Accept the alias spelling in parsed traces.
+	m["EWOULDBLOCK"] = EAGAIN
+	return m
+}()
+
+// Name returns the symbolic name ("ENOENT"); unknown values format as
+// "errno(N)".
+func (e Errno) Name() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// Error implements the error interface. OK stringifies as "OK" but callers
+// must never wrap OK in an error value; test helpers rely on Errno directly.
+func (e Errno) Error() string { return e.Name() }
+
+// String returns the same representation as Name.
+func (e Errno) String() string { return e.Name() }
+
+// ErrnoByName resolves a symbolic errno name from a parsed trace.
+func ErrnoByName(name string) (Errno, bool) {
+	e, ok := errnoByName[name]
+	return e, ok
+}
+
+// AllErrnos returns every distinct errno known to the package, in ascending
+// numeric order, excluding OK.
+func AllErrnos() []Errno {
+	out := make([]Errno, 0, len(errnoNames)-1)
+	for e := range errnoNames {
+		if e != OK {
+			out = append(out, e)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package sysspec
+
+import "iocov/internal/sys"
+
+// extendedSpecs implements the paper's first future-work item ("we plan to
+// support more syscalls"): fifteen additional file-system syscalls beyond the
+// prototype's 27. They contribute mainly output coverage — their arguments
+// are identifiers (paths, descriptors), which partition only under the
+// identifier-tracking option.
+var extendedSpecs = []Spec{
+	{
+		Base:     "unlink",
+		Variants: []string{"unlink", "unlinkat"},
+		Args: []ArgSpec{
+			{Name: "pathname", Key: "pathname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBUSY, sys.EFAULT, sys.EIO, sys.EISDIR, sys.ENOMEM,
+			sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "rmdir",
+		Variants: []string{"rmdir"},
+		Args: []ArgSpec{
+			{Name: "pathname", Key: "pathname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBUSY, sys.EEXIST, sys.EFAULT, sys.EINVAL, sys.ENOMEM,
+			sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "rename",
+		Variants: []string{"rename", "renameat", "renameat2"},
+		Args: []ArgSpec{
+			{Name: "oldname", Key: "oldname", Class: Identifier, Scheme: SchemePath},
+			{Name: "newname", Key: "newname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBUSY, sys.EDQUOT, sys.EEXIST, sys.EFAULT, sys.EINVAL,
+			sys.EISDIR, sys.EMLINK, sys.ENOMEM, sys.ENOSPC, sys.EPERM,
+			sys.EROFS, sys.EXDEV,
+		}),
+	},
+	{
+		Base:     "link",
+		Variants: []string{"link", "linkat"},
+		Args: []ArgSpec{
+			{Name: "oldname", Key: "oldname", Class: Identifier, Scheme: SchemePath},
+			{Name: "newname", Key: "newname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EDQUOT, sys.EEXIST, sys.EFAULT, sys.EIO, sys.EMLINK,
+			sys.ENOMEM, sys.ENOSPC, sys.EPERM, sys.EROFS, sys.EXDEV,
+		}),
+	},
+	{
+		Base:     "symlink",
+		Variants: []string{"symlink", "symlinkat"},
+		Args: []ArgSpec{
+			{Name: "oldname", Key: "oldname", Class: Identifier, Scheme: SchemePath},
+			{Name: "newname", Key: "newname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EDQUOT, sys.EEXIST, sys.EFAULT, sys.EIO, sys.ENOMEM,
+			sys.ENOSPC, sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "fallocate",
+		Variants: []string{"fallocate"},
+		Args: []ArgSpec{
+			{Name: "offset", Key: "offset", Class: Numeric, Scheme: SchemeOffset},
+			{Name: "len", Key: "len", Class: Numeric, Scheme: SchemeBytes},
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetZero,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EFBIG, sys.EINTR, sys.EINVAL, sys.EIO,
+			sys.ENODEV, sys.ENOSPC, sys.ENOTSUP, sys.EPERM, sys.ESPIPE,
+		},
+	},
+	{
+		Base:     "fsync",
+		Variants: []string{"fsync"},
+		Args: []ArgSpec{
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetZero,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EDQUOT, sys.EINTR, sys.EIO, sys.ENOSPC, sys.EROFS,
+		},
+	},
+	{
+		Base:     "fdatasync",
+		Variants: []string{"fdatasync"},
+		Args: []ArgSpec{
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetZero,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EDQUOT, sys.EINTR, sys.EIO, sys.ENOSPC, sys.EROFS,
+		},
+	},
+	{
+		Base:     "listxattr",
+		Variants: []string{"listxattr", "llistxattr", "flistxattr"},
+		Args: []ArgSpec{
+			{Name: "size", Key: "size", Class: Numeric, Scheme: SchemeBytes},
+		},
+		Ret: RetBytes,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.E2BIG, sys.EBADF, sys.EFAULT, sys.ENOTSUP, sys.ERANGE,
+		}),
+	},
+	{
+		Base:     "removexattr",
+		Variants: []string{"removexattr", "lremovexattr", "fremovexattr"},
+		Args:     nil,
+		Ret:      RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.ENODATA, sys.ENOTSUP, sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "statfs",
+		Variants: []string{"statfs", "fstatfs"},
+		Args:     nil,
+		Ret:      RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.EINTR, sys.EIO, sys.ENOMEM,
+		}),
+	},
+	{
+		Base:     "dup",
+		Variants: []string{"dup", "dup2"},
+		Args: []ArgSpec{
+			{Name: "fildes", Key: "fildes", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetFD,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EINTR, sys.EINVAL, sys.EMFILE, sys.ENFILE,
+		},
+	},
+	{
+		Base:     "sync",
+		Variants: []string{"sync"},
+		Args:     nil,
+		Ret:      RetZero,
+		Errnos:   nil, // sync(2) is always successful
+	},
+	{
+		Base:     "stat",
+		Variants: []string{"stat", "fstat", "newfstatat", "statx"},
+		Args: []ArgSpec{
+			{Name: "filename", Key: "filename", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.ENOMEM, sys.EOVERFLOW,
+		}),
+	},
+	{
+		Base:     "lstat",
+		Variants: []string{"lstat"},
+		Args: []ArgSpec{
+			{Name: "filename", Key: "filename", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EFAULT, sys.ENOMEM, sys.EOVERFLOW,
+		}),
+	},
+}
+
+// NewExtendedTable returns the 27-syscall table augmented with the fifteen
+// future-work base syscalls (26 bases in total).
+func NewExtendedTable() *Table {
+	t := NewTable()
+	for i := range extendedSpecs {
+		s := &extendedSpecs[i]
+		if _, dup := t.byBase[s.Base]; dup {
+			panic("sysspec: extended spec duplicates base " + s.Base)
+		}
+		t.byBase[s.Base] = s
+		t.bases = append(t.bases, s.Base)
+		for _, v := range s.Variants {
+			if _, dup := t.byVariant[v]; dup {
+				panic("sysspec: extended spec duplicates variant " + v)
+			}
+			t.byVariant[v] = s
+		}
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package sysspec
+
+import "testing"
+
+func TestExtendedTable(t *testing.T) {
+	tbl := NewExtendedTable()
+	if got := len(tbl.Bases()); got != 26 {
+		t.Errorf("extended bases = %d, want 26 (11 + 15)", got)
+	}
+	// Extended variants resolve.
+	for raw, base := range map[string]string{
+		"unlink": "unlink", "unlinkat": "unlink",
+		"rename": "rename", "renameat": "rename", "renameat2": "rename",
+		"fsync": "fsync", "symlinkat": "symlink", "statx": "stat",
+	} {
+		spec := tbl.Base(raw)
+		if spec == nil || spec.Base != base {
+			t.Errorf("Base(%q) = %v, want %s", raw, spec, base)
+		}
+	}
+	// The original 27 still resolve the same way.
+	if tbl.Base("openat2").Base != "open" {
+		t.Error("openat2 lost its merge target")
+	}
+	// The standard table is unaffected (no shared mutation).
+	std := NewTable()
+	if std.Base("unlink") != nil {
+		t.Error("standard table leaked extended syscalls")
+	}
+	if len(std.Bases()) != 11 {
+		t.Errorf("standard bases = %d after building extended", len(std.Bases()))
+	}
+}
+
+func TestExtendedErrnoOrdering(t *testing.T) {
+	tbl := NewExtendedTable()
+	for _, base := range tbl.Bases() {
+		spec := tbl.Spec(base)
+		for i := 1; i < len(spec.Errnos); i++ {
+			if spec.Errnos[i-1].Name() >= spec.Errnos[i].Name() {
+				t.Errorf("%s errnos unsorted at %s", base, spec.Errnos[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package sysspec holds the syscall metadata IOCov is built on: the 27
+// file-system syscalls the prototype traces (11 base syscalls plus
+// variants), the variant-merging table, the 14 tracked input arguments with
+// their argument classes, and each base syscall's errno universe as
+// documented in its man page (which is what the paper's Figure 4 x-axis is
+// drawn from).
+package sysspec
+
+import (
+	"fmt"
+
+	"iocov/internal/sys"
+)
+
+// ArgClass is the paper's four-way classification of syscall arguments.
+type ArgClass int
+
+// Argument classes (§3: identifier, bitmap, numeric, categorical).
+const (
+	Identifier ArgClass = iota
+	Bitmap
+	Numeric
+	Categorical
+)
+
+func (c ArgClass) String() string {
+	switch c {
+	case Identifier:
+		return "identifier"
+	case Bitmap:
+		return "bitmap"
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return "unknown"
+	}
+}
+
+// Scheme names select a concrete partitioning strategy in
+// internal/partition.
+const (
+	SchemeOpenFlags  = "openflags"  // bitmap of open(2) flags
+	SchemeModeBits   = "modebits"   // bitmap of permission bits
+	SchemeBytes      = "bytes"      // non-negative byte count, powers of 2
+	SchemeOffset     = "offset"     // signed offset, powers of 2 + negative
+	SchemeWhence     = "whence"     // lseek whence values
+	SchemeXattrFlags = "xattrflags" // setxattr flag values
+	SchemePath       = "path"       // identifier (pathname)
+	SchemeFD         = "fd"         // identifier (descriptor)
+)
+
+// RetKind describes how a syscall's successful return value partitions.
+type RetKind int
+
+// Return-value kinds.
+const (
+	// RetZero: success returns 0 (one "OK" partition).
+	RetZero RetKind = iota
+	// RetFD: success returns a descriptor (one "OK" partition; the paper
+	// treats any return >= 0 as a single success partition for open).
+	RetFD
+	// RetBytes: success returns a byte count, partitioned by powers of 2
+	// like numeric inputs.
+	RetBytes
+	// RetOffset: success returns a file offset, partitioned like RetBytes.
+	RetOffset
+)
+
+// ArgSpec describes one tracked input argument of a base syscall.
+type ArgSpec struct {
+	// Name is the report name, e.g. "flags".
+	Name string
+	// Key is the trace-event argument key carrying the value. Variants use
+	// the same key (the kernel layer normalizes them).
+	Key string
+	// Class is the paper's argument class.
+	Class ArgClass
+	// Scheme selects the partitioner.
+	Scheme string
+	// Variants, when non-empty, limits the argument to these raw syscall
+	// names (e.g. read offset exists only for pread64).
+	Variants []string
+}
+
+// Spec describes one base syscall after variant merging.
+type Spec struct {
+	// Base is the merged syscall name.
+	Base string
+	// Variants are the raw syscall names merged into Base (including Base
+	// itself when it is a real syscall).
+	Variants []string
+	// Args are the tracked input arguments.
+	Args []ArgSpec
+	// Ret is the success-return partitioning kind.
+	Ret RetKind
+	// Errnos is the syscall's documented errno universe, in man-page
+	// (alphabetical) order.
+	Errnos []sys.Errno
+}
+
+// pathErrs are the errno values shared by every path-resolving syscall.
+var pathErrs = []sys.Errno{
+	sys.EACCES, sys.ELOOP, sys.ENAMETOOLONG, sys.ENOENT, sys.ENOTDIR,
+}
+
+func mergeErrnos(groups ...[]sys.Errno) []sys.Errno {
+	seen := make(map[sys.Errno]bool)
+	var out []sys.Errno
+	for _, g := range groups {
+		for _, e := range g {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	// Alphabetical by name, like a man page's ERRORS section.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name() < out[j-1].Name(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// specs is the full table for the 27 traced syscalls.
+var specs = []Spec{
+	{
+		Base:     "open",
+		Variants: []string{"open", "openat", "creat", "openat2"},
+		Args: []ArgSpec{
+			{Name: "flags", Key: "flags", Class: Bitmap, Scheme: SchemeOpenFlags},
+			{Name: "mode", Key: "mode", Class: Bitmap, Scheme: SchemeModeBits},
+			{Name: "filename", Key: "filename", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetFD,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.E2BIG, sys.EAGAIN, sys.EBADF, sys.EBUSY, sys.EDQUOT,
+			sys.EEXIST, sys.EFAULT, sys.EFBIG, sys.EINTR, sys.EINVAL,
+			sys.EISDIR, sys.EMFILE, sys.ENFILE, sys.ENODEV, sys.ENOMEM,
+			sys.ENOSPC, sys.ENXIO, sys.EOVERFLOW, sys.EPERM, sys.EROFS,
+			sys.ETXTBSY, sys.EXDEV,
+		}),
+	},
+	{
+		Base:     "read",
+		Variants: []string{"read", "pread64", "readv"},
+		Args: []ArgSpec{
+			{Name: "count", Key: "count", Class: Numeric, Scheme: SchemeBytes},
+			{Name: "pos", Key: "pos", Class: Numeric, Scheme: SchemeOffset, Variants: []string{"pread64"}},
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetBytes,
+		Errnos: []sys.Errno{
+			sys.EAGAIN, sys.EBADF, sys.EFAULT, sys.EINTR, sys.EINVAL,
+			sys.EIO, sys.EISDIR, sys.ENXIO, sys.ESPIPE,
+		},
+	},
+	{
+		Base:     "write",
+		Variants: []string{"write", "pwrite64", "writev"},
+		Args: []ArgSpec{
+			{Name: "count", Key: "count", Class: Numeric, Scheme: SchemeBytes},
+			{Name: "pos", Key: "pos", Class: Numeric, Scheme: SchemeOffset, Variants: []string{"pwrite64"}},
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetBytes,
+		Errnos: []sys.Errno{
+			sys.EAGAIN, sys.EBADF, sys.EDQUOT, sys.EFAULT, sys.EFBIG,
+			sys.EINTR, sys.EINVAL, sys.EIO, sys.ENOSPC, sys.EPERM,
+			sys.EPIPE, sys.ESPIPE,
+		},
+	},
+	{
+		Base:     "lseek",
+		Variants: []string{"lseek"},
+		Args: []ArgSpec{
+			{Name: "offset", Key: "offset", Class: Numeric, Scheme: SchemeOffset},
+			{Name: "whence", Key: "whence", Class: Categorical, Scheme: SchemeWhence},
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetOffset,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EINVAL, sys.ENXIO, sys.EOVERFLOW, sys.ESPIPE,
+		},
+	},
+	{
+		Base:     "truncate",
+		Variants: []string{"truncate", "ftruncate"},
+		Args: []ArgSpec{
+			{Name: "length", Key: "length", Class: Numeric, Scheme: SchemeBytes},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.EFBIG, sys.EINTR, sys.EINVAL,
+			sys.EIO, sys.EISDIR, sys.EPERM, sys.EROFS, sys.ETXTBSY,
+		}),
+	},
+	{
+		Base:     "mkdir",
+		Variants: []string{"mkdir", "mkdirat"},
+		Args: []ArgSpec{
+			{Name: "mode", Key: "mode", Class: Bitmap, Scheme: SchemeModeBits},
+			{Name: "pathname", Key: "pathname", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EDQUOT, sys.EEXIST, sys.EFAULT, sys.EINVAL,
+			sys.EMLINK, sys.ENOMEM, sys.ENOSPC, sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "chmod",
+		Variants: []string{"chmod", "fchmod", "fchmodat"},
+		Args: []ArgSpec{
+			{Name: "mode", Key: "mode", Class: Bitmap, Scheme: SchemeModeBits},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.EINVAL, sys.EIO, sys.ENOMEM,
+			sys.ENOTSUP, sys.EPERM, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "close",
+		Variants: []string{"close"},
+		Args: []ArgSpec{
+			{Name: "fd", Key: "fd", Class: Identifier, Scheme: SchemeFD},
+		},
+		Ret: RetZero,
+		Errnos: []sys.Errno{
+			sys.EBADF, sys.EDQUOT, sys.EINTR, sys.EIO, sys.ENOSPC,
+		},
+	},
+	{
+		Base:     "chdir",
+		Variants: []string{"chdir", "fchdir"},
+		Args: []ArgSpec{
+			{Name: "filename", Key: "filename", Class: Identifier, Scheme: SchemePath},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.EBADF, sys.EFAULT, sys.EIO, sys.ENOMEM,
+		}),
+	},
+	{
+		Base:     "setxattr",
+		Variants: []string{"setxattr", "lsetxattr", "fsetxattr"},
+		Args: []ArgSpec{
+			{Name: "size", Key: "size", Class: Numeric, Scheme: SchemeBytes},
+			{Name: "flags", Key: "flags", Class: Categorical, Scheme: SchemeXattrFlags},
+		},
+		Ret: RetZero,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.E2BIG, sys.EBADF, sys.EDQUOT, sys.EEXIST, sys.EFAULT,
+			sys.EINVAL, sys.ENODATA, sys.ENOSPC, sys.ENOTSUP, sys.EPERM,
+			sys.ERANGE, sys.EROFS,
+		}),
+	},
+	{
+		Base:     "getxattr",
+		Variants: []string{"getxattr", "lgetxattr", "fgetxattr"},
+		Args: []ArgSpec{
+			{Name: "size", Key: "size", Class: Numeric, Scheme: SchemeBytes},
+		},
+		Ret: RetBytes,
+		Errnos: mergeErrnos(pathErrs, []sys.Errno{
+			sys.E2BIG, sys.EBADF, sys.EFAULT, sys.ENODATA, sys.ENOTSUP,
+			sys.ERANGE,
+		}),
+	},
+}
+
+// Table gives indexed access to the specs and the variant map.
+type Table struct {
+	byBase    map[string]*Spec
+	byVariant map[string]*Spec
+	bases     []string
+}
+
+// NewTable builds the standard table. It panics only on an internal
+// inconsistency in the static data (duplicate variant), which the tests
+// assert can't happen.
+func NewTable() *Table {
+	t := &Table{
+		byBase:    make(map[string]*Spec),
+		byVariant: make(map[string]*Spec),
+	}
+	for i := range specs {
+		s := &specs[i]
+		if _, dup := t.byBase[s.Base]; dup {
+			panic(fmt.Sprintf("sysspec: duplicate base %q", s.Base))
+		}
+		t.byBase[s.Base] = s
+		t.bases = append(t.bases, s.Base)
+		for _, v := range s.Variants {
+			if _, dup := t.byVariant[v]; dup {
+				panic(fmt.Sprintf("sysspec: duplicate variant %q", v))
+			}
+			t.byVariant[v] = s
+		}
+	}
+	return t
+}
+
+// Bases returns the 11 base syscall names in table order.
+func (t *Table) Bases() []string { return append([]string(nil), t.bases...) }
+
+// Base resolves a raw syscall name to its base spec, or nil when the syscall
+// is outside IOCov's scope (the analyzer skips such events, the way IOCov
+// ignores out-of-scope LTTng records).
+func (t *Table) Base(rawName string) *Spec { return t.byVariant[rawName] }
+
+// Spec returns the spec for a base name, or nil.
+func (t *Table) Spec(base string) *Spec { return t.byBase[base] }
+
+// VariantCount returns the total number of raw syscalls in the table (the
+// paper's 27).
+func (t *Table) VariantCount() int { return len(t.byVariant) }
+
+// TrackedArgCount returns the number of partitioned (non-identifier) input
+// arguments across all base syscalls (the paper's 14).
+func (t *Table) TrackedArgCount() int {
+	n := 0
+	for _, base := range t.bases {
+		for _, a := range t.byBase[base].Args {
+			if a.Class != Identifier {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TrackedArgs returns the non-identifier arguments of a base spec.
+func (s *Spec) TrackedArgs() []ArgSpec {
+	var out []ArgSpec
+	for _, a := range s.Args {
+		if a.Class != Identifier {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ArgAppliesTo reports whether the argument is recorded for the given raw
+// variant (e.g. read's "pos" argument exists only for pread64).
+func (a *ArgSpec) ArgAppliesTo(rawName string) bool {
+	if len(a.Variants) == 0 {
+		return true
+	}
+	for _, v := range a.Variants {
+		if v == rawName {
+			return true
+		}
+	}
+	return false
+}

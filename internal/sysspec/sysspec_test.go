@@ -1,0 +1,191 @@
+package sysspec
+
+import (
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func TestPaperCounts(t *testing.T) {
+	tbl := NewTable()
+	// §4: "27 syscalls, including 11 base syscalls".
+	if got := tbl.VariantCount(); got != 27 {
+		t.Errorf("variant count = %d, want 27", got)
+	}
+	if got := len(tbl.Bases()); got != 11 {
+		t.Errorf("base count = %d, want 11", got)
+	}
+	// §4: "input coverage for 14 distinct arguments".
+	if got := tbl.TrackedArgCount(); got != 14 {
+		t.Errorf("tracked args = %d, want 14", got)
+	}
+}
+
+func TestBaseNames(t *testing.T) {
+	tbl := NewTable()
+	want := []string{"open", "read", "write", "lseek", "truncate", "mkdir",
+		"chmod", "close", "chdir", "setxattr", "getxattr"}
+	got := tbl.Bases()
+	if len(got) != len(want) {
+		t.Fatalf("bases = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("base[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVariantMerging(t *testing.T) {
+	tbl := NewTable()
+	cases := map[string]string{
+		"open": "open", "openat": "open", "creat": "open", "openat2": "open",
+		"read": "read", "pread64": "read", "readv": "read",
+		"write": "write", "pwrite64": "write", "writev": "write",
+		"ftruncate": "truncate", "mkdirat": "mkdir",
+		"fchmod": "chmod", "fchmodat": "chmod", "fchdir": "chdir",
+		"lsetxattr": "setxattr", "fsetxattr": "setxattr",
+		"lgetxattr": "getxattr", "fgetxattr": "getxattr",
+	}
+	for raw, base := range cases {
+		spec := tbl.Base(raw)
+		if spec == nil {
+			t.Errorf("no spec for %s", raw)
+			continue
+		}
+		if spec.Base != base {
+			t.Errorf("%s merged to %s, want %s", raw, spec.Base, base)
+		}
+	}
+	// Out-of-scope syscalls resolve to nil.
+	for _, raw := range []string{"unlink", "rename", "fsync", "stat", "mmap", ""} {
+		if tbl.Base(raw) != nil {
+			t.Errorf("unexpected spec for %q", raw)
+		}
+	}
+}
+
+func TestArgVariantRestriction(t *testing.T) {
+	tbl := NewTable()
+	read := tbl.Spec("read")
+	var pos *ArgSpec
+	for i := range read.Args {
+		if read.Args[i].Name == "pos" {
+			pos = &read.Args[i]
+		}
+	}
+	if pos == nil {
+		t.Fatal("read has no pos arg")
+	}
+	if !pos.ArgAppliesTo("pread64") {
+		t.Error("pos should apply to pread64")
+	}
+	if pos.ArgAppliesTo("read") {
+		t.Error("pos should not apply to read")
+	}
+	// Unrestricted args apply to everything.
+	count := &read.Args[0]
+	if count.Name != "count" || !count.ArgAppliesTo("readv") {
+		t.Error("count should apply to readv")
+	}
+}
+
+func TestErrnoUniverses(t *testing.T) {
+	tbl := NewTable()
+	open := tbl.Spec("open")
+	// Figure 4 lists 27 distinct error codes for the open family.
+	if got := len(open.Errnos); got != 27 {
+		t.Errorf("open errnos = %d, want 27", got)
+	}
+	// Sorted alphabetically like a man page, with no duplicates.
+	for _, base := range tbl.Bases() {
+		spec := tbl.Spec(base)
+		seen := make(map[sys.Errno]bool)
+		for i, e := range spec.Errnos {
+			if e == sys.OK {
+				t.Errorf("%s errno universe contains OK", base)
+			}
+			if seen[e] {
+				t.Errorf("%s errno universe repeats %s", base, e)
+			}
+			seen[e] = true
+			if i > 0 && spec.Errnos[i-1].Name() >= e.Name() {
+				t.Errorf("%s errnos not sorted at %s", base, e)
+			}
+		}
+	}
+	// Spot-check man-page facts.
+	has := func(base string, e sys.Errno) bool {
+		for _, x := range tbl.Spec(base).Errnos {
+			if x == e {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("open", sys.EOVERFLOW) {
+		t.Error("open missing EOVERFLOW")
+	}
+	if !has("write", sys.ENOSPC) || !has("write", sys.EDQUOT) {
+		t.Error("write missing ENOSPC/EDQUOT")
+	}
+	if has("read", sys.ENOSPC) {
+		t.Error("read should not list ENOSPC")
+	}
+	if !has("lseek", sys.ENXIO) {
+		t.Error("lseek missing ENXIO")
+	}
+	if !has("setxattr", sys.ENODATA) || !has("getxattr", sys.ENODATA) {
+		t.Error("xattr family missing ENODATA")
+	}
+	if !has("chmod", sys.ENOTSUP) {
+		t.Error("chmod missing ENOTSUP (fchmodat AT_SYMLINK_NOFOLLOW)")
+	}
+}
+
+func TestTrackedArgs(t *testing.T) {
+	tbl := NewTable()
+	open := tbl.Spec("open")
+	tracked := open.TrackedArgs()
+	if len(tracked) != 2 {
+		t.Fatalf("open tracked args = %d, want 2 (flags, mode)", len(tracked))
+	}
+	if tracked[0].Name != "flags" || tracked[0].Class != Bitmap {
+		t.Errorf("open arg 0 = %+v", tracked[0])
+	}
+	lseek := tbl.Spec("lseek")
+	classes := map[string]ArgClass{}
+	for _, a := range lseek.TrackedArgs() {
+		classes[a.Name] = a.Class
+	}
+	if classes["offset"] != Numeric || classes["whence"] != Categorical {
+		t.Errorf("lseek classes = %v", classes)
+	}
+}
+
+func TestRetKinds(t *testing.T) {
+	tbl := NewTable()
+	cases := map[string]RetKind{
+		"open": RetFD, "read": RetBytes, "write": RetBytes,
+		"lseek": RetOffset, "truncate": RetZero, "close": RetZero,
+		"getxattr": RetBytes, "setxattr": RetZero,
+	}
+	for base, want := range cases {
+		if got := tbl.Spec(base).Ret; got != want {
+			t.Errorf("%s ret kind = %v, want %v", base, got, want)
+		}
+	}
+}
+
+func TestArgClassString(t *testing.T) {
+	cases := map[ArgClass]string{
+		Identifier: "identifier", Bitmap: "bitmap",
+		Numeric: "numeric", Categorical: "categorical",
+		ArgClass(99): "unknown",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %s, want %s", int(c), c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package syz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iocov/internal/sys"
+)
+
+// GenConfig parameterizes the corpus generator — the stand-in for a
+// syscall fuzzer (the paper's §6 plans to evaluate Syzkaller-class tools
+// with IOCov).
+type GenConfig struct {
+	// Programs is the corpus size.
+	Programs int
+	// MaxCalls bounds calls per program (min 2: an open plus one op).
+	MaxCalls int
+	// Seed drives generation.
+	Seed int64
+	// Dir is the directory path prefix used in generated programs.
+	Dir string
+}
+
+// Generate produces a deterministic pseudo-random corpus in the mutational
+// style of a syscall fuzzer: each program opens files, then mutates them
+// through descriptor- and path-based calls with heavily skewed constants
+// (fuzzers favour small magic values, powers of two, and boundary
+// constants).
+func Generate(cfg GenConfig) []Program {
+	if cfg.Programs <= 0 {
+		cfg.Programs = 100
+	}
+	if cfg.MaxCalls < 2 {
+		cfg.MaxCalls = 8
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "/fuzz"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	progs := make([]Program, 0, cfg.Programs)
+	for i := 0; i < cfg.Programs; i++ {
+		progs = append(progs, genProgram(rng, cfg, i))
+	}
+	return progs
+}
+
+// fuzzer-favoured numeric constants: boundaries and magic sizes.
+var magicSizes = []int64{
+	0, 1, 2, 3, 4, 7, 8, 9, 16, 255, 256, 511, 512, 1023, 1024,
+	4095, 4096, 4097, 65535, 65536, 1 << 20, 1<<20 + 1,
+}
+
+func pickSize(rng *rand.Rand) int64 {
+	if rng.Intn(4) == 0 {
+		return rng.Int63n(1 << 16)
+	}
+	return magicSizes[rng.Intn(len(magicSizes))]
+}
+
+var fuzzFlags = []int64{
+	sys.O_RDONLY, sys.O_WRONLY, sys.O_RDWR,
+	sys.O_CREAT, sys.O_EXCL, sys.O_TRUNC, sys.O_APPEND, sys.O_NONBLOCK,
+	sys.O_SYNC, sys.O_DSYNC, sys.O_DIRECT, sys.O_NOFOLLOW, sys.O_CLOEXEC,
+	sys.O_NOATIME, sys.O_LARGEFILE, sys.O_PATH, sys.O_DIRECTORY, sys.O_NOCTTY,
+}
+
+func pickFlags(rng *rand.Rand) int64 {
+	f := fuzzFlags[rng.Intn(3)] // access mode
+	n := rng.Intn(4)
+	for j := 0; j < n; j++ {
+		f |= fuzzFlags[3+rng.Intn(len(fuzzFlags)-3)]
+	}
+	return f
+}
+
+func genProgram(rng *rand.Rand, cfg GenConfig, idx int) Program {
+	var p Program
+	path := fmt.Sprintf("%s/file%d", cfg.Dir, idx%8)
+	// Leading open with a result binding, syzkaller style.
+	p.Calls = append(p.Calls, Call{
+		Result: 0,
+		Name:   "openat",
+		Args: []Arg{
+			{Kind: KindConst, Const: -0x64}, // AT_FDCWD as syzkaller prints it (0xffffffffffffff9c)
+			{Kind: KindString, Str: path},
+			{Kind: KindConst, Const: sys.O_CREAT | sys.O_RDWR},
+			{Kind: KindConst, Const: 0o644},
+		},
+	})
+	nCalls := 1 + rng.Intn(cfg.MaxCalls-1)
+	for j := 0; j < nCalls; j++ {
+		p.Calls = append(p.Calls, genCall(rng, cfg, idx))
+	}
+	p.Calls = append(p.Calls, Call{Result: -1, Name: "close",
+		Args: []Arg{{Kind: KindResult, Ref: 0}}})
+	return p
+}
+
+func genCall(rng *rand.Rand, cfg GenConfig, idx int) Call {
+	path := fmt.Sprintf("%s/file%d", cfg.Dir, rng.Intn(8))
+	fd := Arg{Kind: KindResult, Ref: 0}
+	c := Arg{Kind: KindConst}
+	switch rng.Intn(12) {
+	case 0:
+		return Call{Result: -1, Name: "write", Args: []Arg{fd,
+			{Kind: KindData, DataLen: 2}, {Kind: KindConst, Const: pickSize(rng)}}}
+	case 1:
+		return Call{Result: -1, Name: "read", Args: []Arg{fd,
+			{Kind: KindData}, {Kind: KindConst, Const: pickSize(rng)}}}
+	case 2:
+		return Call{Result: -1, Name: "pwrite64", Args: []Arg{fd,
+			{Kind: KindData, DataLen: 2}, {Kind: KindConst, Const: pickSize(rng)},
+			{Kind: KindConst, Const: pickSize(rng)}}}
+	case 3:
+		c.Const = pickSize(rng)
+		return Call{Result: -1, Name: "lseek", Args: []Arg{fd, c,
+			{Kind: KindConst, Const: int64(rng.Intn(6))}}}
+	case 4:
+		c.Const = pickSize(rng)
+		return Call{Result: -1, Name: "ftruncate", Args: []Arg{fd, c}}
+	case 5:
+		c.Const = pickSize(rng)
+		return Call{Result: -1, Name: "truncate", Args: []Arg{
+			{Kind: KindString, Str: path}, c}}
+	case 6:
+		return Call{Result: -1, Name: "mkdir", Args: []Arg{
+			{Kind: KindString, Str: fmt.Sprintf("%s/dir%d", cfg.Dir, rng.Intn(64))},
+			{Kind: KindConst, Const: int64(rng.Intn(0o1000))}}}
+	case 7:
+		return Call{Result: -1, Name: "chmod", Args: []Arg{
+			{Kind: KindString, Str: path},
+			{Kind: KindConst, Const: int64(rng.Intn(0o10000))}}}
+	case 8:
+		return Call{Result: -1, Name: "setxattr", Args: []Arg{
+			{Kind: KindString, Str: path},
+			{Kind: KindString, Str: fmt.Sprintf("user.f%d", rng.Intn(4))},
+			{Kind: KindData, DataLen: 2},
+			{Kind: KindConst, Const: pickSize(rng) % (1 << 16)},
+			{Kind: KindConst, Const: int64(rng.Intn(3))}}}
+	case 9:
+		return Call{Result: -1, Name: "getxattr", Args: []Arg{
+			{Kind: KindString, Str: path},
+			{Kind: KindString, Str: fmt.Sprintf("user.f%d", rng.Intn(4))},
+			{Kind: KindData},
+			{Kind: KindConst, Const: pickSize(rng) % (1 << 16)}}}
+	case 10:
+		return Call{Result: -1, Name: "open", Args: []Arg{
+			{Kind: KindString, Str: path},
+			{Kind: KindConst, Const: pickFlags(rng)},
+			{Kind: KindConst, Const: int64(rng.Intn(0o1000))}}}
+	default:
+		return Call{Result: -1, Name: "fchmod", Args: []Arg{fd,
+			{Kind: KindConst, Const: int64(rng.Intn(0o10000))}}}
+	}
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"iocov/internal/sys"
+)
+
+// The binary trace format is the compact counterpart of the text format,
+// playing the role of LTTng's CTF stream (the text format corresponds to
+// babeltrace's pretty-printed view). Layout:
+//
+//	magic "IOCV" + version byte 1
+//	per event:
+//	  uvarint seq
+//	  uvarint pid
+//	  string  name          (dictionary-compressed, see below)
+//	  uvarint nStrs, then nStrs x (string key, string value)
+//	  uvarint nArgs, then nArgs x (string key, zigzag varint value)
+//	  zigzag  ret
+//	  uvarint errno
+//
+// Strings are dictionary-compressed per stream: uvarint id, where id 0
+// introduces a new entry (followed by uvarint length + bytes) and id N
+// references the (N-1)th previously introduced string. Syscall names and
+// argument keys repeat constantly, so traces shrink by roughly 4x vs text.
+// The event's Path is reconstructed from the standard path keys, exactly
+// like the text parser does.
+
+const binaryMagic = "IOCV\x01"
+
+// BinaryWriter serializes events to the binary format. It implements Sink.
+type BinaryWriter struct {
+	bw   *bufio.Writer
+	dict map[string]uint64
+	err  error
+	tmp  []byte
+}
+
+// NewBinaryWriter creates a writer and emits the stream header.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	out := &BinaryWriter{bw: bw, dict: make(map[string]uint64), tmp: make([]byte, binary.MaxVarintLen64)}
+	_, out.err = bw.WriteString(binaryMagic)
+	return out
+}
+
+func (w *BinaryWriter) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.tmp, v)
+	_, w.err = w.bw.Write(w.tmp[:n])
+}
+
+func (w *BinaryWriter) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.tmp, v)
+	_, w.err = w.bw.Write(w.tmp[:n])
+}
+
+func (w *BinaryWriter) str(s string) {
+	if w.err != nil {
+		return
+	}
+	if id, ok := w.dict[s]; ok {
+		w.uvarint(id)
+		return
+	}
+	w.uvarint(0)
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+	w.dict[s] = uint64(len(w.dict)) + 1
+}
+
+// Emit writes one event. Errors are sticky and reported by Flush.
+func (w *BinaryWriter) Emit(ev Event) {
+	w.uvarint(ev.Seq)
+	w.uvarint(uint64(ev.PID))
+	w.str(ev.Name)
+	w.uvarint(uint64(len(ev.Strs)))
+	for _, k := range ev.strNames() {
+		w.str(k)
+		w.str(ev.Strs[k])
+	}
+	w.uvarint(uint64(len(ev.Args)))
+	for _, k := range ev.argNames() {
+		w.str(k)
+		w.varint(ev.Args[k])
+	}
+	w.varint(ev.Ret)
+	w.uvarint(uint64(ev.Err))
+}
+
+// Flush flushes buffered output and returns the first error.
+func (w *BinaryWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// BinaryParser reads events back from the binary format.
+type BinaryParser struct {
+	br   *bufio.Reader
+	dict []string
+	read bool
+}
+
+// NewBinaryParser creates a parser over r; the header is validated on the
+// first Next call.
+func NewBinaryParser(r io.Reader) *BinaryParser {
+	return &BinaryParser{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (p *BinaryParser) header() error {
+	buf := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(p.br, buf); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: short binary header: %w", err)
+	}
+	if string(buf) != binaryMagic {
+		return fmt.Errorf("trace: bad binary magic %q", buf)
+	}
+	p.read = true
+	return nil
+}
+
+func (p *BinaryParser) str() (string, error) {
+	id, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return "", err
+	}
+	if id != 0 {
+		idx := int(id) - 1
+		if idx >= len(p.dict) {
+			return "", fmt.Errorf("trace: dangling dictionary reference %d", id)
+		}
+		return p.dict[idx], nil
+	}
+	n, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(p.br, buf); err != nil {
+		return "", fmt.Errorf("trace: truncated string: %w", err)
+	}
+	s := string(buf)
+	p.dict = append(p.dict, s)
+	return s, nil
+}
+
+// Next returns the next event or io.EOF at a clean end of stream.
+func (p *BinaryParser) Next() (Event, error) {
+	if !p.read {
+		if err := p.header(); err != nil {
+			return Event{}, err
+		}
+	}
+	var ev Event
+	seq, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	ev.Seq = seq
+	pid, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	ev.PID = int(pid)
+	if ev.Name, err = p.str(); err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	nStrs, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	if nStrs > 64 {
+		return Event{}, fmt.Errorf("trace: unreasonable string-arg count %d", nStrs)
+	}
+	if nStrs > 0 {
+		ev.Strs = make(map[string]string, nStrs)
+		for i := uint64(0); i < nStrs; i++ {
+			k, err := p.str()
+			if err != nil {
+				return Event{}, unexpectedEOF(err)
+			}
+			v, err := p.str()
+			if err != nil {
+				return Event{}, unexpectedEOF(err)
+			}
+			ev.Strs[k] = v
+		}
+	}
+	nArgs, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	if nArgs > 64 {
+		return Event{}, fmt.Errorf("trace: unreasonable arg count %d", nArgs)
+	}
+	if nArgs > 0 {
+		ev.Args = make(map[string]int64, nArgs)
+		for i := uint64(0); i < nArgs; i++ {
+			k, err := p.str()
+			if err != nil {
+				return Event{}, unexpectedEOF(err)
+			}
+			v, err := binary.ReadVarint(p.br)
+			if err != nil {
+				return Event{}, unexpectedEOF(err)
+			}
+			ev.Args[k] = v
+		}
+	}
+	if ev.Ret, err = binary.ReadVarint(p.br); err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	errno, err := binary.ReadUvarint(p.br)
+	if err != nil {
+		return Event{}, unexpectedEOF(err)
+	}
+	ev.Err = sys.Errno(errno)
+	ev.Path = primaryPath(ev.Strs)
+	return ev, nil
+}
+
+// ParseAllBinary reads every event from a binary stream.
+func ParseAllBinary(r io.Reader) ([]Event, error) {
+	p := NewBinaryParser(r)
+	var out []Event
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// unexpectedEOF converts a mid-event EOF into a hard error so truncated
+// traces are reported rather than silently accepted.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

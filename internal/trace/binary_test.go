@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := []Event{
+		sampleEvent(),
+		{Seq: 43, PID: 7, Name: "write",
+			Args: map[string]int64{"fd": 3, "count": 4096},
+			Ret:  -int64(sys.ENOSPC), Err: sys.ENOSPC},
+		{Seq: 44, PID: 8, Name: "sync"},
+		{Seq: 45, PID: 7, Name: "setxattr", Path: "/mnt/test/x",
+			Strs: map[string]string{"pathname": "/mnt/test/x", "name": "user.k"},
+			Args: map[string]int64{"size": 0, "flags": 2}},
+	}
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAllBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(got[i], events[i]) {
+			t.Errorf("event %d:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryDictionaryCompression(t *testing.T) {
+	// Many events with repeating names/keys/paths: the binary stream must
+	// be much smaller than the text stream.
+	rng := rand.New(rand.NewSource(1))
+	var events []Event
+	for i := 0; i < 2000; i++ {
+		events = append(events, Event{
+			Seq: uint64(i + 1), PID: 1, Name: "write",
+			Args: map[string]int64{"fd": 3, "count": int64(rng.Intn(1 << 20))},
+			Ret:  1,
+		})
+	}
+	var bin, txt bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	tw := NewWriter(&txt)
+	for _, ev := range events {
+		bw.Emit(ev)
+		tw.Emit(ev)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*3 > txt.Len() {
+		t.Errorf("binary %d bytes vs text %d: expected at least 3x compression", bin.Len(), txt.Len())
+	}
+	got, err := ParseAllBinary(&bin)
+	if err != nil || len(got) != len(events) {
+		t.Fatalf("reparse: %d events, err %v", len(got), err)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ParseAllBinary(bytes.NewReader([]byte("NOPE\x01xxxx"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAllBinary(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %d events, %v", len(got), err)
+	}
+	// Completely empty input (no header) is EOF at the first event.
+	p := NewBinaryParser(bytes.NewReader(nil))
+	if _, err := p.Next(); err != io.EOF {
+		t.Errorf("no header: err = %v, want EOF", err)
+	}
+}
+
+func TestBinaryTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	w.Emit(sampleEvent())
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-event at several points; every cut must error, not silently
+	// succeed with garbage.
+	for cut := len(binaryMagic) + 1; cut < len(full)-1; cut += 3 {
+		_, err := ParseAllBinary(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryDanglingDictRef(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	// seq=1, pid=1, name = dictionary ref 5 (never introduced).
+	buf.Write([]byte{1, 1, 5})
+	if _, err := ParseAllBinary(&buf); err == nil {
+		t.Error("dangling dictionary reference accepted")
+	}
+}
+
+func TestBinaryWriterErrorSticky(t *testing.T) {
+	w := NewBinaryWriter(failingWriter{})
+	w.Emit(sampleEvent())
+	if err := w.Flush(); err == nil {
+		t.Error("writer error not propagated")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestBinaryLargeTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	var want []Event
+	names := []string{"open", "read", "write", "close", "lseek"}
+	for i := 0; i < 10_000; i++ {
+		ev := Event{
+			Seq: uint64(i + 1), PID: 1 + rng.Intn(3),
+			Name: names[rng.Intn(len(names))],
+			Args: map[string]int64{"fd": int64(rng.Intn(20)), "count": rng.Int63n(1 << 30)},
+			Ret:  int64(rng.Intn(1 << 20)),
+		}
+		if rng.Intn(5) == 0 {
+			ev.Err = sys.ENOENT
+			ev.Ret = -int64(sys.ENOENT)
+		}
+		want = append(want, ev)
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAllBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package trace provides the tracing substrate that stands in for LTTng in
+// this reproduction: an event model for syscall entry/exit records, an
+// LTTng-style text serialization (writer + parser), and the stateful
+// mount-point filter IOCov applies before analysis.
+//
+// The simulated kernel emits one Event per completed syscall into a Sink.
+// Events can be analyzed live (Collector) or round-tripped through the text
+// format the way IOCov consumes LTTng trace files.
+package trace
+
+import (
+	"sort"
+
+	"iocov/internal/sys"
+)
+
+// Event is one completed syscall observation: name, arguments, and outcome.
+// Numeric arguments live in Args; string arguments (paths, xattr names) in
+// Strs. Path carries the syscall's primary path argument when it has one,
+// duplicated from Strs for cheap filtering.
+type Event struct {
+	// Seq is a monotonically increasing sequence number assigned by the
+	// emitting process.
+	Seq uint64
+	// PID identifies the emitting simulated process.
+	PID int
+	// Name is the raw syscall name before variant merging, e.g. "openat".
+	Name string
+	// Path is the primary path argument ("" for fd-only syscalls).
+	Path string
+	// Args holds the numeric arguments keyed by their ABI names
+	// ("flags", "mode", "count", "offset", "whence", "size", ...).
+	Args map[string]int64
+	// Strs holds string arguments keyed by name ("filename", "name", ...).
+	Strs map[string]string
+	// Ret is the return value (valid when Err == sys.OK).
+	Ret int64
+	// Err is the errno outcome; sys.OK on success.
+	Err sys.Errno
+}
+
+// Arg returns a numeric argument and whether it was recorded.
+func (e *Event) Arg(name string) (int64, bool) {
+	v, ok := e.Args[name]
+	return v, ok
+}
+
+// Str returns a string argument and whether it was recorded.
+func (e *Event) Str(name string) (string, bool) {
+	v, ok := e.Strs[name]
+	return v, ok
+}
+
+// Failed reports whether the syscall returned an error.
+func (e *Event) Failed() bool { return e.Err != sys.OK }
+
+// argNames returns the numeric argument keys in deterministic order.
+func (e *Event) argNames() []string {
+	names := make([]string, 0, len(e.Args))
+	for k := range e.Args {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// strNames returns the string argument keys in deterministic order.
+func (e *Event) strNames() []string {
+	names := make([]string, 0, len(e.Strs))
+	for k := range e.Strs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sink receives completed syscall events. Implementations must be safe for
+// use from a single emitting goroutine; Collector additionally supports
+// concurrent emitters.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f(ev).
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// MultiSink fans an event out to several sinks in order.
+type MultiSink []Sink
+
+// Emit delivers ev to every sink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// Collector is an in-memory Sink that retains every event, in order.
+type Collector struct {
+	events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends ev.
+func (c *Collector) Emit(ev Event) { c.events = append(c.events, ev) }
+
+// Events returns the collected events (the backing slice; callers must not
+// mutate it while still emitting).
+func (c *Collector) Events() []Event { return c.events }
+
+// Len returns the number of collected events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Reset discards all collected events.
+func (c *Collector) Reset() { c.events = c.events[:0] }
+
+// CountingSink counts events without retaining them; the benchmark harness
+// uses it to measure emission overhead in isolation.
+type CountingSink struct {
+	N int64
+}
+
+// Emit increments the counter.
+func (c *CountingSink) Emit(Event) { c.N++ }

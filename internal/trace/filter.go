@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"regexp"
+)
+
+// Filter reproduces IOCov's trace filter: file-system testers use a
+// dedicated mount point (e.g. /mnt/test for xfstests), and only syscalls
+// that touch it should be analyzed. Path-carrying events are matched against
+// a mount-point regexp; fd-carrying events are resolved through the fd table
+// the filter reconstructs from successful opens, because a raw LTTng trace
+// identifies files only by descriptor after the open.
+//
+// Filter is stateful and single-goroutine, like the analyzer pipeline.
+type Filter struct {
+	mount *regexp.Regexp
+	// fds maps pid -> fd -> path for descriptors opened under the mount.
+	fds map[int]map[int64]string
+	// outside maps pid -> fd for descriptors opened elsewhere, so EBADF
+	// reuse after close doesn't leak foreign descriptors into the trace.
+	outside map[int]map[int64]bool
+
+	kept    int64
+	dropped int64
+}
+
+// NewFilter compiles the mount-point pattern. The pattern is matched with
+// regexp.MatchString semantics against the syscall's primary path argument,
+// so "^/mnt/test(/|$)" selects exactly one mount.
+func NewFilter(mountPattern string) (*Filter, error) {
+	re, err := regexp.Compile(mountPattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{
+		mount:   re,
+		fds:     make(map[int]map[int64]string),
+		outside: make(map[int]map[int64]bool),
+	}, nil
+}
+
+// openFamily are the syscalls whose success installs a descriptor.
+var openFamily = map[string]bool{
+	"open": true, "openat": true, "creat": true, "openat2": true,
+}
+
+// fdSyscalls are the traced syscalls that operate on a descriptor argument.
+var fdSyscalls = map[string]bool{
+	"read": true, "pread64": true, "readv": true,
+	"write": true, "pwrite64": true, "writev": true,
+	"lseek": true, "ftruncate": true, "fchmod": true,
+	"close": true, "fchdir": true,
+	"fsetxattr": true, "fgetxattr": true, "fremovexattr": true,
+	"fsync": true, "fdatasync": true, "fallocate": true,
+}
+
+// Keep decides whether ev belongs to the filesystem under test, updating the
+// reconstructed fd table as a side effect. Events must be offered in trace
+// order.
+func (f *Filter) Keep(ev Event) bool {
+	keep := f.classify(ev)
+	if keep {
+		f.kept++
+	} else {
+		f.dropped++
+	}
+	return keep
+}
+
+func (f *Filter) classify(ev Event) bool {
+	if openFamily[ev.Name] {
+		match := ev.Path != "" && f.mount.MatchString(ev.Path)
+		if !ev.Failed() && ev.Ret >= 0 {
+			if match {
+				f.pidFds(ev.PID)[ev.Ret] = ev.Path
+				delete(f.pidOutside(ev.PID), ev.Ret)
+			} else {
+				f.pidOutside(ev.PID)[ev.Ret] = true
+				delete(f.pidFds(ev.PID), ev.Ret)
+			}
+		}
+		return match
+	}
+	// dup/dup2 propagate descriptor tracking: a duplicate of an in-mount
+	// descriptor is itself in scope.
+	if ev.Name == "dup" || ev.Name == "dup2" {
+		src, ok := ev.Arg("fildes")
+		if !ok {
+			src, ok = ev.Arg("oldfd")
+		}
+		if !ok {
+			return false
+		}
+		path, tracked := f.pidFds(ev.PID)[src]
+		if !ev.Failed() && ev.Ret >= 0 {
+			if tracked {
+				f.pidFds(ev.PID)[ev.Ret] = path
+				delete(f.pidOutside(ev.PID), ev.Ret)
+			} else {
+				f.pidOutside(ev.PID)[ev.Ret] = true
+				delete(f.pidFds(ev.PID), ev.Ret)
+			}
+		}
+		return tracked
+	}
+	if fdSyscalls[ev.Name] {
+		fd, ok := ev.Arg("fd")
+		if !ok {
+			return false
+		}
+		_, tracked := f.pidFds(ev.PID)[fd]
+		if ev.Name == "close" && !ev.Failed() {
+			delete(f.pidFds(ev.PID), fd)
+			delete(f.pidOutside(ev.PID), fd)
+		}
+		return tracked
+	}
+	// Path-based syscalls (truncate, mkdir, chmod, chdir, *xattr, ...).
+	// Two-path syscalls (rename, link, symlink) are in scope when either
+	// side touches the mount, so every absolute string argument is
+	// checked, not just the primary path.
+	if ev.Path != "" && f.mount.MatchString(ev.Path) {
+		return true
+	}
+	for _, v := range ev.Strs {
+		if len(v) > 0 && v[0] == '/' && f.mount.MatchString(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply filters a slice of events, returning the kept ones in order.
+func (f *Filter) Apply(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for _, ev := range events {
+		if f.Keep(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Stats reports how many events were kept and dropped so far.
+func (f *Filter) Stats() (kept, dropped int64) { return f.kept, f.dropped }
+
+func (f *Filter) pidFds(pid int) map[int64]string {
+	m := f.fds[pid]
+	if m == nil {
+		m = make(map[int64]string)
+		f.fds[pid] = m
+	}
+	return m
+}
+
+func (f *Filter) pidOutside(pid int) map[int64]bool {
+	m := f.outside[pid]
+	if m == nil {
+		m = make(map[int64]bool)
+		f.outside[pid] = m
+	}
+	return m
+}
+
+// FilteringSink wraps a Sink, forwarding only events the Filter keeps. It
+// lets a live tracer drop out-of-scope syscalls before they reach the
+// analyzer, the way IOCov's pipeline discards non-test records.
+type FilteringSink struct {
+	F    *Filter
+	Next Sink
+}
+
+// Emit forwards ev when the filter keeps it.
+func (s *FilteringSink) Emit(ev Event) {
+	if s.F.Keep(ev) {
+		s.Next.Emit(ev)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+// corpusBytes builds a valid trace in both formats for mutation testing.
+func corpusBytes(t *testing.T) (text, bin []byte) {
+	t.Helper()
+	events := []Event{
+		{Seq: 1, PID: 1, Name: "openat", Path: "/mnt/test/f",
+			Strs: map[string]string{"filename": "/mnt/test/f"},
+			Args: map[string]int64{"dfd": -100, "flags": 577, "mode": 420}, Ret: 3},
+		{Seq: 2, PID: 1, Name: "write",
+			Args: map[string]int64{"fd": 3, "count": 4096}, Ret: 4096},
+		{Seq: 3, PID: 1, Name: "close",
+			Args: map[string]int64{"fd": 3}, Ret: -int64(sys.EBADF), Err: sys.EBADF},
+	}
+	var tb, bb bytes.Buffer
+	tw, bw := NewWriter(&tb), NewBinaryWriter(&bb)
+	for _, ev := range events {
+		tw.Emit(ev)
+		bw.Emit(ev)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), bb.Bytes()
+}
+
+// TestTextParserNeverPanics: random single-byte mutations of a valid text
+// trace either parse or error — no panics, no hangs.
+func TestTextParserNeverPanics(t *testing.T) {
+	text, _ := corpusBytes(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), text...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			pos := rng.Intn(len(mut))
+			mut[pos] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\ninput: %q", i, r, mut)
+				}
+			}()
+			_, _ = ParseAll(bytes.NewReader(mut))
+		}()
+	}
+}
+
+// TestBinaryParserNeverPanics: same for the binary format, plus truncations
+// and random garbage.
+func TestBinaryParserNeverPanics(t *testing.T) {
+	_, bin := corpusBytes(t)
+	rng := rand.New(rand.NewSource(2))
+	check := func(input []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic: %v\ninput: %v", r, input)
+			}
+		}()
+		_, _ = ParseAllBinary(bytes.NewReader(input))
+	}
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), bin...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		}
+		check(mut)
+	}
+	for i := 0; i < len(bin); i++ {
+		check(bin[:i]) // every truncation point
+	}
+	for i := 0; i < 500; i++ {
+		garbage := make([]byte, rng.Intn(200))
+		rng.Read(garbage)
+		check(append([]byte("IOCV\x01"), garbage...))
+	}
+}
+
+// TestBinaryParserBoundsHostileLengths: adversarial length fields must be
+// rejected before allocation, not cause OOM.
+func TestBinaryParserBoundsHostileLengths(t *testing.T) {
+	// Header + seq=1 + pid=1 + new string with a 2^40 length claim.
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{1, 1, 0})                            // seq, pid, dict-intro
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}) // uvarint 2^40-ish
+	if _, err := ParseAllBinary(&buf); err == nil {
+		t.Error("hostile string length accepted")
+	}
+}
+
+// TestFilterNeverPanicsOnArbitraryEvents: events with nil maps, weird
+// names, and hostile paths pass through the filter without panics.
+func TestFilterNeverPanicsOnArbitraryEvents(t *testing.T) {
+	f, _ := NewFilter(`^/mnt/test(/|$)`)
+	events := []Event{
+		{},
+		{Name: "close"},
+		{Name: "read", Args: map[string]int64{}},
+		{Name: "open", Ret: 3},
+		{Name: "open", Path: "\x00\xff", Ret: 3},
+		{Name: "write", Args: map[string]int64{"fd": -1 << 62}},
+		{Name: "rename", Strs: map[string]string{"oldname": "", "newname": "/"}},
+	}
+	for _, ev := range events {
+		_ = f.Keep(ev)
+	}
+}

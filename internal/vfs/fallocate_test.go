@@ -1,0 +1,95 @@
+package vfs
+
+import (
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+func TestFallocateGrows(t *testing.T) {
+	fs := newFS(t)
+	ino := mustCreate(t, fs, "/f")
+	if e := fs.Fallocate(Root, ino, 0, 0, 16384); e != sys.OK {
+		t.Fatalf("fallocate: %v", e)
+	}
+	if ino.Size() != 16384 {
+		t.Errorf("size = %d, want 16384", ino.Size())
+	}
+	// The range is really allocated (charged), unlike a sparse truncate.
+	if st := fs.statLockedForTest(ino); st.Blocks != 4 {
+		t.Errorf("blocks = %d, want 4", st.Blocks)
+	}
+	// Allocated-but-unwritten space reads as zeros.
+	buf := make([]byte, 8)
+	n, e := fs.ReadAt(Root, ino, buf, 100)
+	if e != sys.OK || n != 8 {
+		t.Fatalf("read = %d,%v", n, e)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("fallocated space not zeroed")
+		}
+	}
+}
+
+func TestFallocateKeepSize(t *testing.T) {
+	fs := newFS(t)
+	ino := mustCreate(t, fs, "/f")
+	if _, e := fs.WriteAt(Root, ino, []byte("abc"), 0, false); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := fs.Fallocate(Root, ino, FallocKeepSize, 0, 1<<20); e != sys.OK {
+		t.Fatalf("keep-size fallocate: %v", e)
+	}
+	if ino.Size() != 3 {
+		t.Errorf("size = %d, want 3 (KEEP_SIZE)", ino.Size())
+	}
+	// But the blocks are charged.
+	if got := fs.statLockedForTest(ino).Blocks; got != 256 {
+		t.Errorf("blocks = %d, want 256", got)
+	}
+}
+
+func TestFallocateErrors(t *testing.T) {
+	fs := newFS(t)
+	ino := mustCreate(t, fs, "/f")
+	if e := fs.Fallocate(Root, ino, 0, -1, 10); e != sys.EINVAL {
+		t.Errorf("negative offset = %v", e)
+	}
+	if e := fs.Fallocate(Root, ino, 0, 0, 0); e != sys.EINVAL {
+		t.Errorf("zero length = %v", e)
+	}
+	if e := fs.Fallocate(Root, ino, 0x99, 0, 10); e != sys.ENOTSUP {
+		t.Errorf("unknown mode = %v", e)
+	}
+	if e := fs.Fallocate(Root, ino, 0, 0, 64<<40); e != sys.EFBIG {
+		t.Errorf("past max size = %v", e)
+	}
+	cfg := DefaultConfig()
+	cfg.CapacityBytes = 64 * 1024
+	small := New(cfg)
+	ino2 := mustCreateOn(t, small, "/f")
+	if e := small.Fallocate(Root, ino2, 0, 0, 1<<20); e != sys.ENOSPC {
+		t.Errorf("over capacity = %v", e)
+	}
+	small.SetReadOnly(true)
+	if e := small.Fallocate(Root, ino2, 0, 0, 10); e != sys.EROFS {
+		t.Errorf("read-only = %v", e)
+	}
+}
+
+func mustCreateOn(t *testing.T, fs *FS, path string) *Inode {
+	t.Helper()
+	res, e := fs.OpenInode(fs.Root(), Root, path, sys.O_CREAT|sys.O_RDWR, 0o644)
+	if e != sys.OK {
+		t.Fatalf("create %s: %v", path, e)
+	}
+	return res.Ino
+}
+
+// statLockedForTest exposes the stat snapshot for block assertions.
+func (fs *FS) statLockedForTest(ino *Inode) Stat {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.statLocked(ino)
+}

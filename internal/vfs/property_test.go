@@ -1,0 +1,263 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iocov/internal/sys"
+)
+
+// TestReadWriteOracle drives random positional writes/reads/truncates
+// against the filesystem and a plain in-memory byte-slice oracle, checking
+// every read byte-for-byte. This pins down the sparse block storage.
+func TestReadWriteOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New(DefaultConfig())
+		ino := mustCreate(t, fs, "/f")
+		oracle := make([]byte, 0)
+
+		grow := func(end int64) {
+			if end > int64(len(oracle)) {
+				oracle = append(oracle, make([]byte, end-int64(len(oracle)))...)
+			}
+		}
+		const maxOff = 1 << 20
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // write
+				off := rng.Int63n(maxOff)
+				size := rng.Intn(16 * 1024)
+				data := make([]byte, size)
+				rng.Read(data)
+				n, e := fs.WriteAt(Root, ino, data, off, false)
+				if e != sys.OK {
+					t.Fatalf("seed %d op %d: write(%d,%d) = %v", seed, op, off, size, e)
+				}
+				if n != size {
+					t.Fatalf("short write %d of %d", n, size)
+				}
+				grow(off + int64(size))
+				copy(oracle[off:], data)
+			case 2: // read
+				off := rng.Int63n(maxOff)
+				size := rng.Intn(16 * 1024)
+				buf := make([]byte, size)
+				n, e := fs.ReadAt(Root, ino, buf, off)
+				if e != sys.OK {
+					t.Fatalf("read = %v", e)
+				}
+				want := 0
+				if off < int64(len(oracle)) {
+					want = len(oracle) - int(off)
+					if want > size {
+						want = size
+					}
+				}
+				if n != want {
+					t.Fatalf("seed %d op %d: read(%d,%d) = %d bytes, oracle %d (size %d)",
+						seed, op, off, size, n, want, len(oracle))
+				}
+				if n > 0 && !bytes.Equal(buf[:n], oracle[off:off+int64(n)]) {
+					t.Fatalf("seed %d op %d: read content mismatch at %d", seed, op, off)
+				}
+			case 3: // truncate
+				length := rng.Int63n(maxOff)
+				if e := fs.TruncateInode(Root, ino, length); e != sys.OK {
+					t.Fatalf("truncate = %v", e)
+				}
+				if length <= int64(len(oracle)) {
+					oracle = oracle[:length]
+				} else {
+					grow(length)
+				}
+			}
+			if ino.Size() != int64(len(oracle)) {
+				t.Fatalf("seed %d op %d: size %d, oracle %d", seed, op, ino.Size(), len(oracle))
+			}
+		}
+	}
+}
+
+// TestBlockAccountingInvariant: after any op sequence, the filesystem's
+// used-block counter equals the sum of per-inode allocations plus metadata
+// blocks, and returns to the baseline when everything is deleted.
+func TestBlockAccountingInvariant(t *testing.T) {
+	fs := New(DefaultConfig())
+	base := fs.UsedBlocks()
+	rng := rand.New(rand.NewSource(42))
+	var files []string
+	for i := 0; i < 50; i++ {
+		switch {
+		case rng.Intn(3) > 0 || len(files) == 0:
+			name := fmt.Sprintf("/f%03d", i)
+			res, e := fs.OpenInode(fs.Root(), Root, name, sys.O_CREAT|sys.O_RDWR, 0o644)
+			if e != sys.OK {
+				t.Fatal(e)
+			}
+			if _, e := fs.WriteAt(Root, res.Ino, make([]byte, rng.Intn(64*1024)), int64(rng.Intn(1<<20)), false); e != sys.OK {
+				t.Fatal(e)
+			}
+			files = append(files, name)
+		default:
+			idx := rng.Intn(len(files))
+			if e := fs.Unlink(fs.Root(), Root, files[idx]); e != sys.OK {
+				t.Fatal(e)
+			}
+			files = append(files[:idx], files[idx+1:]...)
+		}
+		if fs.UsedBlocks() < base {
+			t.Fatalf("used blocks %d below baseline %d", fs.UsedBlocks(), base)
+		}
+	}
+	for _, f := range files {
+		if e := fs.Unlink(fs.Root(), Root, f); e != sys.OK {
+			t.Fatal(e)
+		}
+	}
+	if got := fs.UsedBlocks(); got != base {
+		t.Errorf("blocks after deleting everything = %d, want %d (leak)", got, base)
+	}
+}
+
+// TestSparseFilesChargeOnlyWrittenBlocks: a huge sparse file costs only
+// what was written.
+func TestSparseFilesChargeOnlyWrittenBlocks(t *testing.T) {
+	fs := New(DefaultConfig())
+	ino := mustCreate(t, fs, "/sparse")
+	before := fs.UsedBlocks()
+	// 512 MiB sparse size via truncate: no charge.
+	if e := fs.TruncateInode(Root, ino, 512<<20); e != sys.OK {
+		t.Fatal(e)
+	}
+	if got := fs.UsedBlocks(); got != before {
+		t.Errorf("truncate charged %d blocks", got-before)
+	}
+	// One byte at the far end: one block.
+	if _, e := fs.WriteAt(Root, ino, []byte{1}, 512<<20-1, false); e != sys.OK {
+		t.Fatal(e)
+	}
+	if got := fs.UsedBlocks() - before; got != 1 {
+		t.Errorf("far write charged %d blocks, want 1", got)
+	}
+	// The hole reads as zeros.
+	buf := make([]byte, 4)
+	n, e := fs.ReadAt(Root, ino, buf, 1<<20)
+	if e != sys.OK || n != 4 || !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Errorf("hole read = %d,%v,%v", n, e, buf)
+	}
+}
+
+// TestTruncateZeroesTailWithinBlock: shrink then re-grow must not resurrect
+// old data (the classic stale-tail bug).
+func TestTruncateZeroesTailWithinBlock(t *testing.T) {
+	fs := New(DefaultConfig())
+	ino := mustCreate(t, fs, "/f")
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	if _, e := fs.WriteAt(Root, ino, data, 0, false); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := fs.TruncateInode(Root, ino, 100); e != sys.OK {
+		t.Fatal(e)
+	}
+	if e := fs.TruncateInode(Root, ino, 4096); e != sys.OK {
+		t.Fatal(e)
+	}
+	buf := make([]byte, 4096)
+	if _, e := fs.ReadAt(Root, ino, buf, 0); e != sys.OK {
+		t.Fatal(e)
+	}
+	for i := 100; i < 4096; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte %#x at %d after shrink+grow", buf[i], i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0xAB {
+			t.Fatalf("lost byte at %d", i)
+		}
+	}
+}
+
+// TestPathResolutionProperties: quick-checked invariants of resolution.
+func TestPathResolutionProperties(t *testing.T) {
+	fs := New(DefaultConfig())
+	mustMkdir(t, fs, "/a")
+	mustMkdir(t, fs, "/a/b")
+	mustCreate(t, fs, "/a/b/f")
+
+	// Redundant slashes and dots never change the result.
+	variants := []string{
+		"/a/b/f", "//a/b/f", "/a//b/f", "/a/./b/f", "/a/b/./f",
+		"/a/b/../b/f", "/./a/b/f", "/a/b//f",
+	}
+	want, e := fs.Lookup(fs.Root(), Root, "/a/b/f")
+	if e != sys.OK {
+		t.Fatal(e)
+	}
+	for _, v := range variants {
+		got, e := fs.Lookup(fs.Root(), Root, v)
+		if e != sys.OK || got.Ino != want.Ino {
+			t.Errorf("lookup(%q) = %+v, %v; want ino %d", v, got, e, want.Ino)
+		}
+	}
+}
+
+// TestRenamePreservesContent: rename is a pure namespace operation.
+func TestRenamePreservesContent(t *testing.T) {
+	f := func(data []byte) bool {
+		fs := New(DefaultConfig())
+		res, e := fs.OpenInode(fs.Root(), Root, "/src", sys.O_CREAT|sys.O_RDWR, 0o644)
+		if e != sys.OK {
+			return false
+		}
+		if len(data) > 0 {
+			if _, e := fs.WriteAt(Root, res.Ino, data, 0, false); e != sys.OK {
+				return false
+			}
+		}
+		if e := fs.Rename(fs.Root(), Root, "/src", "/dst"); e != sys.OK {
+			return false
+		}
+		got, e := fs.LookupInode(fs.Root(), Root, "/dst", true)
+		if e != sys.OK || got.Size() != int64(len(data)) {
+			return false
+		}
+		buf := make([]byte, len(data))
+		n, e := fs.ReadAt(Root, got, buf, 0)
+		return e == sys.OK && n == len(data) && bytes.Equal(buf, data)
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModeNeverExceedsPermMask: chmod can only set permission bits.
+func TestModeNeverExceedsPermMask(t *testing.T) {
+	f := func(mode uint32) bool {
+		fs := New(DefaultConfig())
+		ino := mustCreateQ(fs)
+		if ino == nil {
+			return false
+		}
+		if e := fs.ChmodInode(Root, ino, mode); e != sys.OK {
+			return false
+		}
+		return ino.Mode()&^uint32(sys.PermMask) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustCreateQ(fs *FS) *Inode {
+	res, e := fs.OpenInode(fs.Root(), Root, "/q", sys.O_CREAT|sys.O_RDWR, 0o644)
+	if e != sys.OK {
+		return nil
+	}
+	return res.Ino
+}

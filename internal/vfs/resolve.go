@@ -1,0 +1,189 @@
+package vfs
+
+import (
+	"strings"
+
+	"iocov/internal/sys"
+)
+
+// resolveOpts controls one path resolution.
+type resolveOpts struct {
+	// followLast dereferences a trailing symlink (open without O_NOFOLLOW).
+	followLast bool
+	// noSymlinks rejects any symlink in the path (openat2
+	// RESOLVE_NO_SYMLINKS).
+	noSymlinks bool
+	// wantParent stops at the parent directory and returns the final
+	// component, for create/mkdir/unlink-style operations.
+	wantParent bool
+}
+
+// resolved is the outcome of a successful path walk.
+type resolved struct {
+	ino  *Inode
+	dir  *Inode // parent directory (wantParent mode)
+	name string // final component (wantParent mode)
+}
+
+// validatePath applies the global path-length limit.
+func (fs *FS) validatePath(path string) sys.Errno {
+	if len(path) > fs.cfg.MaxPathLen {
+		return sys.ENAMETOOLONG
+	}
+	return sys.OK
+}
+
+// resolve walks path starting at base (the process cwd or an openat dirfd
+// directory), enforcing permission, name-length, and symlink-depth rules.
+// It must be called with fs.mu held.
+func (fs *FS) resolve(base *Inode, cred Cred, path string, opt resolveOpts) (resolved, sys.Errno) {
+	if e := fs.validatePath(path); e != sys.OK {
+		return resolved{}, e
+	}
+	if path == "" {
+		return resolved{}, sys.ENOENT
+	}
+	depth := 0
+	return fs.walk(base, cred, path, opt, &depth)
+}
+
+func (fs *FS) walk(base *Inode, cred Cred, path string, opt resolveOpts, depth *int) (resolved, sys.Errno) {
+	cur := base
+	if strings.HasPrefix(path, "/") {
+		cur = fs.root
+	}
+	components := splitPath(path)
+	trailingSlash := strings.HasSuffix(path, "/") && path != "/"
+
+	if len(components) == 0 {
+		// Path was "/" (or equivalent).
+		if opt.wantParent {
+			return resolved{}, sys.EEXIST
+		}
+		return resolved{ino: cur}, sys.OK
+	}
+
+	for idx, comp := range components {
+		last := idx == len(components)-1
+		if len(comp) > fs.cfg.MaxNameLen {
+			return resolved{}, sys.ENAMETOOLONG
+		}
+		if cur.typ != TypeDir {
+			return resolved{}, sys.ENOTDIR
+		}
+		if e := checkAccess(cur, cred, permExec); e != sys.OK {
+			return resolved{}, e
+		}
+
+		var next *Inode
+		switch comp {
+		case ".":
+			next = cur
+		case "..":
+			next = cur.parent
+		default:
+			next = cur.children[comp]
+		}
+
+		if last && opt.wantParent {
+			if comp == "." || comp == ".." {
+				return resolved{}, sys.EINVAL
+			}
+			if next != nil && next.typ == TypeSymlink && opt.followLast {
+				// Creating through a dangling or existing symlink: follow it
+				// so O_CREAT on a symlink to a file works like Linux.
+				res, e := fs.followSymlink(cur, cred, next, opt, depth)
+				if e != sys.OK {
+					return resolved{}, e
+				}
+				return res, sys.OK
+			}
+			return resolved{dir: cur, name: comp, ino: next}, sys.OK
+		}
+
+		if next == nil {
+			return resolved{}, sys.ENOENT
+		}
+
+		if next.typ == TypeSymlink {
+			if opt.noSymlinks {
+				return resolved{}, sys.ELOOP
+			}
+			if !last || opt.followLast || trailingSlash {
+				*depth++
+				if *depth > fs.cfg.MaxSymlinkDepth {
+					return resolved{}, sys.ELOOP
+				}
+				target := next.target
+				rest := strings.Join(components[idx+1:], "/")
+				if rest != "" {
+					target = target + "/" + rest
+				} else if trailingSlash {
+					target += "/"
+				}
+				return fs.walk(cur, cred, target, opt, depth)
+			}
+		}
+		cur = next
+	}
+
+	if trailingSlash && cur.typ != TypeDir {
+		return resolved{}, sys.ENOTDIR
+	}
+	return resolved{ino: cur}, sys.OK
+}
+
+// followSymlink resolves a trailing symlink encountered in wantParent mode.
+func (fs *FS) followSymlink(dir *Inode, cred Cred, link *Inode, opt resolveOpts, depth *int) (resolved, sys.Errno) {
+	*depth++
+	if *depth > fs.cfg.MaxSymlinkDepth {
+		return resolved{}, sys.ELOOP
+	}
+	return fs.walk(dir, cred, link.target, opt, depth)
+}
+
+func splitPath(path string) []string {
+	raw := strings.Split(path, "/")
+	out := raw[:0]
+	for _, c := range raw {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Lookup resolves path relative to base and returns the inode's metadata.
+// It follows trailing symlinks, like stat(2).
+func (fs *FS) Lookup(base *Inode, cred Cred, path string) (Stat, sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	res, e := fs.resolve(base, cred, path, resolveOpts{followLast: true})
+	if e != sys.OK {
+		return Stat{}, e
+	}
+	return fs.statLocked(res.ino), sys.OK
+}
+
+// LookupNoFollow is Lookup without trailing-symlink dereference (lstat).
+func (fs *FS) LookupNoFollow(base *Inode, cred Cred, path string) (Stat, sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	res, e := fs.resolve(base, cred, path, resolveOpts{})
+	if e != sys.OK {
+		return Stat{}, e
+	}
+	return fs.statLocked(res.ino), sys.OK
+}
+
+// LookupInode resolves a path to the inode itself; the kernel layer uses it
+// for chdir and the *at dirfd checks.
+func (fs *FS) LookupInode(base *Inode, cred Cred, path string, follow bool) (*Inode, sys.Errno) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	res, e := fs.resolve(base, cred, path, resolveOpts{followLast: follow})
+	if e != sys.OK {
+		return nil, e
+	}
+	return res.ino, sys.OK
+}

@@ -1,0 +1,180 @@
+// Package iocov is the public facade of the IOCov reproduction: input and
+// output coverage measurement for file-system test suites, after Liu et
+// al., "Input and Output Coverage Needed in File System Testing"
+// (HotStorage '23).
+//
+// The package re-exports the pipeline pieces as aliases and provides
+// one-call constructors for the two ways IOCov is used:
+//
+//   - offline: parse an LTTng-style trace file, filter it to the mount
+//     point under test, and compute coverage (AnalyzeTrace);
+//   - live: attach the analyzer (behind the mount filter) as the trace
+//     sink of the simulated kernel and run a workload (NewPipeline).
+//
+// The heavy lifting lives in the internal packages: internal/vfs (the
+// simulated Ext4-like filesystem), internal/kernel (the syscall layer and
+// tracer), internal/trace (the LTTng substitute), internal/partition and
+// internal/coverage (the IOCov analyzer proper), and internal/metrics (the
+// Test Coverage Deviation metric).
+package iocov
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"iocov/internal/coverage"
+	"iocov/internal/kernel"
+	"iocov/internal/metrics"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+// Core pipeline types, aliased for downstream use.
+type (
+	// Analyzer computes input and output coverage from traced syscalls.
+	Analyzer = coverage.Analyzer
+	// Options configures an Analyzer.
+	Options = coverage.Options
+	// Report is one argument's or output space's coverage over its
+	// partition domain.
+	Report = coverage.Report
+	// Event is one traced syscall.
+	Event = trace.Event
+	// Sink consumes traced syscalls.
+	Sink = trace.Sink
+	// Filter is the stateful mount-point trace filter.
+	Filter = trace.Filter
+	// Collector is an in-memory Sink retaining every event.
+	Collector = trace.Collector
+	// Kernel is the simulated syscall layer.
+	Kernel = kernel.Kernel
+	// Proc is a simulated process issuing syscalls.
+	Proc = kernel.Proc
+	// FS is the simulated filesystem.
+	FS = vfs.FS
+	// FSConfig configures the simulated filesystem.
+	FSConfig = vfs.Config
+)
+
+// NewAnalyzer returns an analyzer with the paper's default configuration
+// (variant merging on).
+func NewAnalyzer() *Analyzer {
+	return coverage.NewAnalyzer(coverage.DefaultOptions())
+}
+
+// NewCollector returns an empty in-memory event collector.
+func NewCollector() *Collector { return trace.NewCollector() }
+
+// NewAnalyzerWith returns an analyzer with explicit options.
+func NewAnalyzerWith(opts Options) *Analyzer {
+	return coverage.NewAnalyzer(opts)
+}
+
+// AnalyzeTrace runs the offline pipeline: parse the trace from r (the
+// LTTng-style text format or the compact binary format, auto-detected from
+// the stream header), keep only syscalls under mountPattern (a regexp
+// matched against path arguments, with fd-to-path reconstruction for
+// descriptor-based syscalls), and return the coverage analyzer plus the
+// number of events kept and dropped.
+func AnalyzeTrace(r io.Reader, mountPattern string) (*Analyzer, int64, int64, error) {
+	f, err := trace.NewFilter(mountPattern)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("iocov: bad mount pattern: %w", err)
+	}
+	an := NewAnalyzer()
+	next, err := traceDecoder(r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for {
+		ev, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if f.Keep(ev) {
+			an.Add(ev)
+		}
+	}
+	kept, dropped := f.Stats()
+	return an, kept, dropped, nil
+}
+
+// traceDecoder sniffs the stream format and returns an event iterator.
+func traceDecoder(r io.Reader) (func() (Event, error), error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if string(head) == "IOCV" {
+		p := trace.NewBinaryParser(br)
+		return p.Next, nil
+	}
+	p := trace.NewParser(br)
+	return p.Next, nil
+}
+
+// Pipeline is a live tracing setup: a simulated kernel whose syscalls flow
+// through the mount filter into the analyzer (and optionally into a raw
+// trace writer).
+type Pipeline struct {
+	Kernel   *Kernel
+	Analyzer *Analyzer
+	Filter   *Filter
+
+	flush func() error
+}
+
+// NewPipeline builds a live pipeline over a fresh default filesystem. If
+// traceOut is non-nil, every raw (unfiltered) event is also serialized to
+// it in the LTTng-style text format; call trace.Writer.Flush via
+// FlushTrace when done.
+func NewPipeline(mountPattern string, traceOut io.Writer) (*Pipeline, error) {
+	return NewPipelineFS(vfs.New(vfs.DefaultConfig()), mountPattern, traceOut)
+}
+
+// NewPipelineFS is NewPipeline over a caller-provided filesystem.
+func NewPipelineFS(fs *FS, mountPattern string, traceOut io.Writer) (*Pipeline, error) {
+	f, err := trace.NewFilter(mountPattern)
+	if err != nil {
+		return nil, fmt.Errorf("iocov: bad mount pattern: %w", err)
+	}
+	an := NewAnalyzer()
+	var sink trace.Sink = &trace.FilteringSink{F: f, Next: an}
+	var tw *trace.Writer
+	if traceOut != nil {
+		tw = trace.NewWriter(traceOut)
+		sink = trace.MultiSink{tw, sink}
+	}
+	k := kernel.New(fs, kernel.Options{Sink: sink})
+	p := &Pipeline{Kernel: k, Analyzer: an, Filter: f}
+	if tw != nil {
+		p.flush = tw.Flush
+	}
+	return p, nil
+}
+
+// flush is set when a trace writer is attached.
+func (p *Pipeline) FlushTrace() error {
+	if p.flush == nil {
+		return nil
+	}
+	return p.flush()
+}
+
+// TCD computes the Test Coverage Deviation of a report against a uniform
+// target (§4 of the paper): the log-space RMSD between observed partition
+// frequencies and the target.
+func TCD(r *Report, target int64) float64 {
+	return metrics.UniformTCD(r.Frequencies(), target)
+}
+
+// TCDCrossover finds the smallest uniform target at which suite b's TCD
+// becomes no worse than suite a's, within [1, maxTarget].
+func TCDCrossover(a, b *Report, maxTarget int64) (int64, bool) {
+	return metrics.Crossover(a.Frequencies(), b.Frequencies(), maxTarget)
+}
