@@ -1,0 +1,25 @@
+# Tier-1 verification plus the race gate for the sharded pipeline.
+#
+#   make verify   - build everything and run the full test suite (tier-1)
+#   make race     - the same tests under the race detector; the parallel
+#                   worker-pool path (harness.RunParallel) makes this the
+#                   gate for shard-isolation regressions
+#   make bench    - serial-vs-parallel suite benchmarks
+#   make figures  - regenerate the paper's evaluation figures
+
+GO ?= go
+
+.PHONY: verify race bench figures
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .
+
+figures:
+	$(GO) run ./cmd/figures

@@ -8,6 +8,7 @@ package iocov
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"iocov/internal/bugdb"
@@ -300,6 +301,62 @@ func BenchmarkAblationCrashOracle(b *testing.B) {
 			}
 			b.ReportMetric(float64(violations), "violations")
 		})
+	}
+}
+
+// --- Parallel pipeline -------------------------------------------------------
+
+// BenchmarkSuiteSerialVsParallel pairs a serial suite run against the
+// sharded worker-pool run at several worker counts. Every variant produces
+// a byte-identical snapshot (the harness test enforces it); the benchmark
+// measures what sharding costs or saves on this machine. Speedups track
+// available CPUs: on a single-CPU host the parallel variants only add the
+// shard set-up and merge overhead.
+func BenchmarkSuiteSerialVsParallel(b *testing.B) {
+	for _, suite := range []string{harness.SuiteXfstests, harness.SuiteCrashMonkey} {
+		b.Run(suite+"/serial", func(b *testing.B) {
+			var analyzed int64
+			for i := 0; i < b.N; i++ {
+				an, err := harness.Run(suite, benchScale, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				analyzed = an.Analyzed()
+			}
+			b.ReportMetric(float64(analyzed), "events")
+		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", suite, workers), func(b *testing.B) {
+				var analyzed int64
+				for i := 0; i < b.N; i++ {
+					an, err := harness.RunParallel(suite, benchScale, 1, workers, coverage.DefaultOptions())
+					if err != nil {
+						b.Fatal(err)
+					}
+					analyzed = an.Analyzed()
+				}
+				b.ReportMetric(float64(analyzed), "events")
+			})
+		}
+	}
+}
+
+// BenchmarkAnalyzerMerge measures the merge step in isolation: combining
+// two analyzers that each absorbed half of a suite's event stream.
+func BenchmarkAnalyzerMerge(b *testing.B) {
+	events := collectEvents(b, 0.2)
+	half := len(events) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lo := coverage.NewAnalyzer(coverage.DefaultOptions())
+		hi := coverage.NewAnalyzer(coverage.DefaultOptions())
+		lo.AddAll(events[:half])
+		hi.AddAll(events[half:])
+		b.StartTimer()
+		if err := lo.Merge(hi); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

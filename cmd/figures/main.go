@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-only 2|3|4|5|t1] [-scale F] [-seed N]
+//	figures [-only 2|3|4|5|t1] [-scale F] [-seed N] [-workers N]
 //
 // -scale 1.0 reproduces the paper's full-run magnitudes (≈10M traced
 // syscalls, takes a minute or two); smaller scales keep the same shapes
@@ -27,12 +27,13 @@ func main() {
 	only := flag.String("only", "", "regenerate only one artifact: 2, 3, 4, 5, or t1 (default all)")
 	scale := flag.Float64("scale", 0.1, "workload scale; 1.0 = the paper's full-run magnitudes")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fmt.Printf("# IOCov evaluation figures (scale %g, seed %d)\n", *scale, *seed)
 	fmt.Printf("# suites: simulated xfstests (706 generic + 308 ext4 tests) and CrashMonkey (seq-1 + generic)\n\n")
 
-	xfs, cm, err := harness.RunBoth(*scale, *seed)
+	xfs, cm, err := harness.RunBothParallel(*scale, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)

@@ -4,9 +4,11 @@
 //
 // Subcommands:
 //
-//	iocov run -suite xfstests|crashmonkey [-scale F] [-seed N] [-trace FILE]
-//	    Run a simulated suite through the pipeline; print coverage. With
-//	    -trace, also write the raw (unfiltered) trace to FILE.
+//	iocov run -suite xfstests|crashmonkey [-scale F] [-seed N] [-workers N] [-trace FILE]
+//	    Run a simulated suite through the pipeline; print coverage. The run
+//	    is sharded across -workers goroutines (default GOMAXPROCS) with a
+//	    snapshot identical to a serial run. With -trace, also write the
+//	    filtered trace to FILE (forces a single serial worker).
 //
 //	iocov analyze -trace FILE [-mount REGEX]
 //	    Parse a trace file, filter to the mount point, print coverage.
@@ -286,10 +288,11 @@ func cmdCompare(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	syscall := fs.String("syscall", "open", "syscall to compare")
 	arg := fs.String("arg", "flags", "input argument to compare (\"\" = output space)")
+	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	xfs, cm, err := harness.RunBoth(*scale, *seed)
+	xfs, cm, err := harness.RunBothParallel(*scale, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -324,6 +327,7 @@ func cmdRun(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the coverage snapshot as JSON")
 	extended := fs.Bool("extended", false, "analyze with the future-work extended syscall table")
 	combos := fs.Bool("combinations", false, "track distinct bitmap combinations as partitions")
+	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS; -trace forces 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -351,7 +355,15 @@ func cmdRun(args []string) error {
 			return fmt.Errorf("run: unknown format %q", *format)
 		}
 	}
-	an, err := harness.RunWithOptions(*suite, *scale, *seed, opts, sinks...)
+	// Trace writers need the serial event order; without one, shard the run
+	// across workers — the merged snapshot is identical either way.
+	var an *coverage.Analyzer
+	var err error
+	if len(sinks) > 0 {
+		an, err = harness.RunWithOptions(*suite, *scale, *seed, opts, sinks...)
+	} else {
+		an, err = harness.RunParallel(*suite, *scale, *seed, *workers, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -445,6 +457,7 @@ func cmdUntested(args []string) error {
 	scale := fs.Float64("scale", 0.1, "workload scale")
 	seed := fs.Int64("seed", 1, "workload seed")
 	mount := fs.String("mount", harness.MountPattern, "mount-point regexp")
+	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -468,7 +481,7 @@ func cmdUntested(args []string) error {
 		an.AddAll(filter.Apply(events))
 	case *suite != "":
 		var err error
-		an, err = harness.Run(*suite, *scale, *seed)
+		an, err = harness.RunParallel(*suite, *scale, *seed, *workers, coverage.DefaultOptions())
 		if err != nil {
 			return err
 		}
@@ -494,10 +507,11 @@ func cmdTCD(args []string) error {
 	syscall := fs.String("syscall", "open", "syscall whose argument to score")
 	arg := fs.String("arg", "flags", "argument to score")
 	target := fs.Int64("target", 1000, "uniform per-partition test target")
+	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	an, err := harness.Run(*suite, *scale, *seed)
+	an, err := harness.RunParallel(*suite, *scale, *seed, *workers, coverage.DefaultOptions())
 	if err != nil {
 		return err
 	}

@@ -45,8 +45,10 @@ type Options struct {
 func DefaultOptions() Options { return Options{MergeVariants: true} }
 
 // Analyzer accumulates input and output coverage. It implements trace.Sink,
-// so it can sit directly behind the kernel or a trace filter. Not safe for
-// concurrent use; run one analyzer per pipeline.
+// so it can sit directly behind the kernel or a trace filter. An Analyzer is
+// not safe for concurrent use: run one analyzer per pipeline, and combine
+// sharded pipelines afterwards with Merge (the shard-and-merge pattern used
+// by harness.RunParallel).
 type Analyzer struct {
 	table *sysspec.Table
 	opts  Options

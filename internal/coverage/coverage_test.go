@@ -267,9 +267,9 @@ func TestReportHelpers(t *testing.T) {
 		t.Errorf("max = %d", rep.MaxCount())
 	}
 	trimmed := rep.TrimZeroTail(2)
-	// write count domain: =0, 2^0..2^63. Bucket 2^3 is index 4 → 5 rows.
-	if len(trimmed.Rows) != 5 {
-		t.Errorf("trimmed rows = %d, want 5", len(trimmed.Rows))
+	// write count domain: <0, =0, 2^0..2^63. Bucket 2^3 is index 5 → 6 rows.
+	if len(trimmed.Rows) != 6 {
+		t.Errorf("trimmed rows = %d, want 6", len(trimmed.Rows))
 	}
 	freqs := rep.Frequencies()
 	labels := rep.Labels()

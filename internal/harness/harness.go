@@ -6,6 +6,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"iocov/internal/coverage"
 	"iocov/internal/kernel"
@@ -35,6 +37,13 @@ func Run(suite string, scale float64, seed int64, extraSinks ...trace.Sink) (*co
 // RunWithOptions is Run with explicit analyzer options (extended syscall
 // table, combination tracking, identifier tracking).
 func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Options, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
+	return runShard(suite, scale, seed, 0, 1, opts, extraSinks...)
+}
+
+// runShard executes one shard of a suite run on its own fresh pipeline
+// (filesystem, kernel, mount filter, analyzer). Shard 0 of 1 is a complete
+// serial run.
+func runShard(suite string, scale float64, seed int64, shard, shards int, opts coverage.Options, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
 	an := coverage.NewAnalyzer(opts)
 	filter, err := trace.NewFilter(MountPattern)
 	if err != nil {
@@ -49,9 +58,9 @@ func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Optio
 	})
 	switch suite {
 	case SuiteXfstests:
-		_, err = xfstests.Run(k, xfstests.Config{Scale: scale, Seed: seed, Noise: true})
+		_, err = xfstests.Run(k, xfstests.Config{Scale: scale, Seed: seed, Noise: true, Shard: shard, Shards: shards})
 	case SuiteCrashMonkey:
-		_, err = crashmonkey.Run(k, crashmonkey.Config{Scale: scale, Seed: seed, Noise: true})
+		_, err = crashmonkey.Run(k, crashmonkey.Config{Scale: scale, Seed: seed, Noise: true, Shard: shard, Shards: shards})
 	default:
 		return nil, fmt.Errorf("harness: unknown suite %q", suite)
 	}
@@ -59,6 +68,47 @@ func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Optio
 		return nil, err
 	}
 	return an, nil
+}
+
+// RunParallel executes one named suite across a worker pool: the run is
+// split into `workers` deterministic shards, each driving its own fresh
+// pipeline in a goroutine, and the shard analyzers are merged in shard
+// order. The suites decompose into work items with seed-derived per-item
+// RNGs, so the union of generated workloads — and therefore the merged
+// Snapshot — is byte-identical to the serial Run for any worker count.
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func RunParallel(suite string, scale float64, seed int64, workers int, opts coverage.Options) (*coverage.Analyzer, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch suite {
+	case SuiteXfstests, SuiteCrashMonkey:
+	default:
+		return nil, fmt.Errorf("harness: unknown suite %q", suite)
+	}
+	ans := make([]*coverage.Analyzer, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ans[w], errs[w] = runShard(suite, scale, seed, w, workers, opts)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := ans[0]
+	for w := 1; w < workers; w++ {
+		if err := merged.Merge(ans[w]); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
 }
 
 // RunBoth runs both suites at the same scale (the evaluation's setup) and
@@ -69,6 +119,20 @@ func RunBoth(scale float64, seed int64) (*coverage.Analyzer, *coverage.Analyzer,
 		return nil, nil, err
 	}
 	cm, err := Run(SuiteCrashMonkey, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return xfs, cm, nil
+}
+
+// RunBothParallel is RunBoth over RunParallel: both suites sharded across
+// the same worker count, with results identical to RunBoth.
+func RunBothParallel(scale float64, seed int64, workers int) (*coverage.Analyzer, *coverage.Analyzer, error) {
+	xfs, err := RunParallel(SuiteXfstests, scale, seed, workers, coverage.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := RunParallel(SuiteCrashMonkey, scale, seed, workers, coverage.DefaultOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -42,8 +42,17 @@ func Log2Label(k int) string { return fmt.Sprintf("2^%d", k) }
 
 // Log2Bucket returns the bucket exponent for a positive value: the paper
 // rounds each value down to the nearest power-of-two boundary, so 1024-2047
-// all land in bucket 10.
-func Log2Bucket(v int64) int { return bits.Len64(uint64(v)) - 1 }
+// all land in bucket 10. The precondition is v > 0; zero and negative
+// values belong to the "=0" and "<0" boundary partitions, not to any
+// power-of-two bucket, so Log2Bucket returns the sentinel -1 for them
+// (rather than letting uint64 wraparound misclassify a negative into
+// bucket 63).
+func Log2Bucket(v int64) int {
+	if v <= 0 {
+		return -1
+	}
+	return bits.Len64(uint64(v)) - 1
+}
 
 // Input is a partitioning scheme for one argument class.
 type Input interface {
@@ -100,8 +109,8 @@ func (BytesScheme) Partitions(v int64) []string {
 
 // Domain implements Input.
 func (BytesScheme) Domain() []string {
-	out := make([]string, 0, MaxLog2+2)
-	out = append(out, LabelZero)
+	out := make([]string, 0, MaxLog2+3)
+	out = append(out, LabelNegative, LabelZero)
 	for k := 0; k <= MaxLog2; k++ {
 		out = append(out, Log2Label(k))
 	}
@@ -222,7 +231,13 @@ func Output(ret sysspec.RetKind, retVal int64, err sys.Errno) string {
 	}
 	switch ret {
 	case sysspec.RetBytes, sysspec.RetOffset:
-		if retVal <= 0 {
+		// A success with a negative return value is a distinct corner
+		// (malformed trace, or a signed-offset return); keep it apart
+		// from the legitimate zero-byte result.
+		if retVal < 0 {
+			return LabelOK + ":" + LabelNegative
+		}
+		if retVal == 0 {
 			return LabelOK + ":" + LabelZero
 		}
 		return LabelOK + ":" + Log2Label(Log2Bucket(retVal))
@@ -237,7 +252,7 @@ func OutputDomain(spec *sysspec.Spec) []string {
 	var out []string
 	switch spec.Ret {
 	case sysspec.RetBytes, sysspec.RetOffset:
-		out = append(out, LabelOK+":"+LabelZero)
+		out = append(out, LabelOK+":"+LabelNegative, LabelOK+":"+LabelZero)
 		for k := 0; k <= MaxLog2; k++ {
 			out = append(out, LabelOK+":"+Log2Label(k))
 		}

@@ -19,6 +19,9 @@ func TestLog2Bucket(t *testing.T) {
 		{1023, 9}, {1024, 10}, {2047, 10}, {2048, 11},
 		{1 << 28, 28}, {(1 << 28) + 1, 28}, // the paper's 258 MiB max write lands in 2^28
 		{math.MaxInt64, 62},
+		// Zero and negatives are out of precondition: sentinel, not a
+		// wrapped-around bucket 63.
+		{0, -1}, {-1, -1}, {-4096, -1}, {math.MinInt64, -1},
 	}
 	for _, c := range cases {
 		if got := Log2Bucket(c.v); got != c.want {
@@ -70,8 +73,20 @@ func TestBytesScheme(t *testing.T) {
 		}
 	}
 	dom := s.Domain()
-	if dom[0] != LabelZero || dom[1] != "2^0" || len(dom) != MaxLog2+2 {
+	if dom[0] != LabelNegative || dom[1] != LabelZero || dom[2] != "2^0" || len(dom) != MaxLog2+3 {
 		t.Errorf("domain = %v...", dom[:3])
+	}
+	// Regression: every label Partitions can emit must be in Domain.
+	inDomain := make(map[string]bool)
+	for _, l := range dom {
+		inDomain[l] = true
+	}
+	for _, v := range []int64{-5, 0, 1, 1024, math.MaxInt64} {
+		for _, l := range s.Partitions(v) {
+			if !inDomain[l] {
+				t.Errorf("Partitions(%d) emits %q, not in Domain", v, l)
+			}
+		}
 	}
 }
 
@@ -180,6 +195,13 @@ func TestOutputPartitioning(t *testing.T) {
 	if got := Output(sysspec.RetBytes, 0, sys.OK); got != "OK:=0" {
 		t.Errorf("zero bytes = %s", got)
 	}
+	// A negative success return is its own partition, not folded into =0.
+	if got := Output(sysspec.RetBytes, -7, sys.OK); got != "OK:<0" {
+		t.Errorf("negative bytes success = %s", got)
+	}
+	if got := Output(sysspec.RetOffset, -1, sys.OK); got != "OK:<0" {
+		t.Errorf("negative offset success = %s", got)
+	}
 	if got := Output(sysspec.RetZero, 0, sys.OK); got != "OK" {
 		t.Errorf("zero ret = %s", got)
 	}
@@ -196,14 +218,24 @@ func TestOutputDomain(t *testing.T) {
 		t.Errorf("open domain head = %s", open[0])
 	}
 	write := OutputDomain(tbl.Spec("write"))
-	if write[0] != "OK:=0" || write[1] != "OK:2^0" {
-		t.Errorf("write domain head = %v", write[:2])
+	if write[0] != "OK:<0" || write[1] != "OK:=0" || write[2] != "OK:2^0" {
+		t.Errorf("write domain head = %v", write[:3])
+	}
+	// Every success label Output can emit must be in the domain.
+	inDomain := make(map[string]bool)
+	for _, l := range write {
+		inDomain[l] = true
+	}
+	for _, v := range []int64{-1, 0, 1, 4096, math.MaxInt64} {
+		if l := Output(sysspec.RetBytes, v, sys.OK); !inDomain[l] {
+			t.Errorf("Output(RetBytes, %d, OK) = %q, not in domain", v, l)
+		}
 	}
 }
 
 func TestIsSuccess(t *testing.T) {
 	for label, want := range map[string]bool{
-		"OK": true, "OK:2^5": true, "OK:=0": true,
+		"OK": true, "OK:2^5": true, "OK:=0": true, "OK:<0": true,
 		"ENOENT": false, "EACCES": false, "": false,
 	} {
 		if IsSuccess(label) != want {
@@ -253,7 +285,7 @@ func TestEveryInputSchemeHasConsistentDomain(t *testing.T) {
 		}
 		for _, v := range values {
 			for _, l := range s.Partitions(v) {
-				if !domain[l] && l != LabelInvalid && l != LabelNegative && l != "O_ACCMODE_INVALID" {
+				if !domain[l] && l != LabelInvalid && l != "O_ACCMODE_INVALID" {
 					t.Errorf("scheme %s: label %q for %d outside domain", name, l, v)
 				}
 			}

@@ -55,6 +55,12 @@ type Config struct {
 	// simulated and durability expectations are checked — CrashMonkey's
 	// actual testing purpose.
 	CrashCheck bool
+	// Shard and Shards select a deterministic slice of the run's work
+	// items (one seq-1 workload, one generic test, one storm chunk) for
+	// parallel execution; item g runs iff g % Shards == Shard. Zero
+	// Shards means 1 (run everything).
+	Shard  int
+	Shards int
 }
 
 // Stats summarizes a run.
@@ -79,6 +85,9 @@ func (c *Config) fill() {
 	}
 	if c.GenericTests <= 0 {
 		c.GenericTests = 80
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 }
 
@@ -138,6 +147,23 @@ type runner struct {
 	stats Stats
 	mnt   string
 	sim   *crashsim.Sim
+
+	// nextItem is the running work-item counter used for shard
+	// assignment; it advances identically on every shard.
+	nextItem int
+}
+
+// item runs fn as one deterministic work item (see the xfstests runner for
+// the shard-invariance contract: fixed enumeration order, round-robin shard
+// assignment, item-local RNG).
+func (r *runner) item(fn func()) {
+	g := r.nextItem
+	r.nextItem++
+	if g%r.cfg.Shards != r.cfg.Shard {
+		return
+	}
+	r.rng = workload.ItemRNG(r.cfg.Seed, uint64(g))
+	fn()
 }
 
 // Run executes the simulated CrashMonkey against k.
@@ -151,6 +177,9 @@ func Run(k *kernel.Kernel, cfg Config) (Stats, error) {
 		buf: workload.NewSharedBuf(128 << 10),
 		mnt: cfg.MountPoint,
 	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return Stats{}, fmt.Errorf("crashmonkey: shard %d out of range [0,%d)", cfg.Shard, cfg.Shards)
+	}
 	if cfg.CrashCheck {
 		r.sim = crashsim.New(k.FS())
 		// Chain the simulator's barrier watcher after the caller's sink.
@@ -160,8 +189,18 @@ func Run(k *kernel.Kernel, cfg Config) (Stats, error) {
 			k.SetSink(r.sim.Sink())
 		}
 	}
-	if err := r.setup(); err != nil {
+	// Setup runs untraced: every shard rebuilds the mount point on its own
+	// filesystem, and those events must not reach the analyzer once per
+	// shard when a serial run emits them once.
+	sink := k.Sink()
+	k.SetSink(nil)
+	err := r.setup()
+	k.SetSink(sink)
+	if err != nil {
 		return r.stats, err
+	}
+	if cfg.Noise {
+		r.emitNoise()
 	}
 	r.runSeq1()
 	r.runGeneric()
@@ -186,17 +225,20 @@ func (r *runner) setup() error {
 			return fmt.Errorf("crashmonkey: mkdir %s: %v", path, e)
 		}
 	}
-	if r.cfg.Noise {
-		for i := 0; i < 40; i++ {
-			_ = r.p.Mkdir("/tmp", 0o777)
-			fd, e := r.p.Open("/tmp/cm-snapshot", sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o600)
-			if e == sys.OK {
-				_, _ = r.p.Write(fd, r.buf.Get(256))
-				_ = r.p.Close(fd)
-			}
+	return nil
+}
+
+// emitNoise issues the out-of-mount bookkeeping syscalls a real harness
+// produces; IOCov's trace filter must drop them.
+func (r *runner) emitNoise() {
+	for i := 0; i < 40; i++ {
+		_ = r.p.Mkdir("/tmp", 0o777)
+		fd, e := r.p.Open("/tmp/cm-snapshot", sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o600)
+		if e == sys.OK {
+			_, _ = r.p.Write(fd, r.buf.Get(256))
+			_ = r.p.Close(fd)
 		}
 	}
-	return nil
 }
 
 // runSeq1 executes the seq-1 bounded workloads: each prepares a canonical
@@ -211,8 +253,10 @@ func (r *runner) runSeq1() {
 		}
 	}
 	for i := 0; i < n; i++ {
-		r.seq1Workload(i)
-		r.stats.Workloads++
+		r.item(func() {
+			r.seq1Workload(i)
+			r.stats.Workloads++
+		})
 	}
 }
 
@@ -337,38 +381,69 @@ func (r *runner) runGeneric() {
 		}
 	}
 	for i := 0; i < n; i++ {
-		d := fmt.Sprintf("%s/gen%03d", r.mnt, i)
-		r.check(p.Mkdir(d, 0o755))
-		r.check(p.Mkdir(d, 0o755)) // EEXIST
-		fd, e := p.Open(d+"/f", sys.O_WRONLY|sys.O_CREAT, 0o644)
-		r.check(e)
-		if e == sys.OK {
-			_, we := p.Write(fd, r.buf.Get(int64(512*(i%8+1))))
-			r.check(we)
-			r.check(p.Fsync(fd))
-			r.check(p.Close(fd))
-		}
-		// Three ENOTDIR probes per test, giving CrashMonkey its Figure 4
-		// edge over xfstests on this one errno.
-		for j := 0; j < 3; j++ {
-			_, e := p.Open(fmt.Sprintf("%s/f/x%d", d, j), sys.O_RDONLY, 0)
+		r.item(func() {
+			d := fmt.Sprintf("%s/gen%03d", r.mnt, i)
+			r.check(p.Mkdir(d, 0o755))
+			r.check(p.Mkdir(d, 0o755)) // EEXIST
+			fd, e := p.Open(d+"/f", sys.O_WRONLY|sys.O_CREAT, 0o644)
 			r.check(e)
-		}
-		_, e = p.Open(d+"/missing", sys.O_RDONLY, 0) // ENOENT
-		r.check(e)
-		r.stats.Workloads++
+			if e == sys.OK {
+				_, we := p.Write(fd, r.buf.Get(int64(512*(i%8+1))))
+				r.check(we)
+				r.check(p.Fsync(fd))
+				r.check(p.Close(fd))
+			}
+			// Three ENOTDIR probes per test, giving CrashMonkey its
+			// Figure 4 edge over xfstests on this one errno.
+			for j := 0; j < 3; j++ {
+				_, e := p.Open(fmt.Sprintf("%s/f/x%d", d, j), sys.O_RDONLY, 0)
+				r.check(e)
+			}
+			_, e = p.Open(d+"/missing", sys.O_RDONLY, 0) // ENOENT
+			r.check(e)
+			r.stats.Workloads++
+		})
 	}
 }
+
+// Chunk counts for the storm phases: constants independent of the shard
+// count, so the generated workload never changes with the worker pool
+// size. Each chunk is a self-contained work item with chunk-scoped scratch
+// files and its own item RNG.
+const (
+	chunksOpens  = 8
+	chunksWrites = 4
+	chunksReads  = 4
+	chunksLseeks = 2
+)
 
 // storm tops the run up to the calibrated full-scale magnitudes with
 // checker-style opens, reads, writes and seeks drawn from the CrashMonkey
 // distributions.
 func (r *runner) storm() {
+	r.stormPhase(chunksOpens, workload.ScaleCount(fullOpens, r.cfg.Scale), r.stormOpens)
+	r.stormPhase(chunksWrites, workload.ScaleCount(fullWrites, r.cfg.Scale), r.stormWrites)
+	r.stormPhase(chunksReads, workload.ScaleCount(fullReads, r.cfg.Scale), r.stormReads)
+	r.stormPhase(chunksLseeks, workload.ScaleCount(fullLseeks, r.cfg.Scale), r.stormLseeks)
+}
+
+// stormPhase dispatches one phase's op budget as chunk work items; empty
+// chunks are skipped deterministically (emptiness depends only on the op
+// budget, never on the shard count).
+func (r *runner) stormPhase(chunks, n int, fn func(c, lo, hi int)) {
+	for c := 0; c < chunks; c++ {
+		lo, hi := workload.ChunkRange(n, chunks, c)
+		if lo >= hi {
+			continue
+		}
+		r.item(func() { fn(c, lo, hi) })
+	}
+}
+
+func (r *runner) stormOpens(c, lo, hi int) {
 	p := r.p
 	combos := workload.NewWeightedFlags(openCombos)
-	wdist := workload.NewSizeDist(writeSizes, 128<<10)
-
-	d := r.mnt + "/cm-storm"
+	d := fmt.Sprintf("%s/cm-storm-o%02d", r.mnt, c)
 	r.check(p.Mkdir(d, 0o755))
 	var files []string
 	for i := 0; i < 8; i++ {
@@ -383,9 +458,7 @@ func (r *runner) storm() {
 		files = append(files, f)
 	}
 	dirs := []string{d}
-
-	n := workload.ScaleCount(fullOpens, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		flags := combos.Pick(r.rng)
 		path := files[r.rng.Intn(len(files))]
 		if flags&sys.O_DIRECTORY != 0 {
@@ -400,46 +473,80 @@ func (r *runner) storm() {
 			r.check(p.Close(fd))
 		}
 	}
+}
 
-	wfd, e := p.Open(d+"/wfile", sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, 0o644)
+func (r *runner) stormWrites(c, lo, hi int) {
+	p := r.p
+	wdist := workload.NewSizeDist(writeSizes, 128<<10)
+	wfd, e := p.Open(fmt.Sprintf("%s/cm-storm-w%02d", r.mnt, c), sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, 0o644)
 	r.check(e)
-	if e == sys.OK {
-		var pos int64
-		nw := workload.ScaleCount(fullWrites, r.cfg.Scale)
-		for i := 0; i < nw; i++ {
-			size := wdist.Pick(r.rng)
-			_, we := p.Write(wfd, r.buf.Get(size))
-			r.check(we)
-			pos += size
-			if pos > 1<<20 {
-				_, se := p.Lseek(wfd, 0, sys.SEEK_SET)
-				r.check(se)
-				pos = 0
-			}
-		}
-		r.check(p.Close(wfd))
+	if e != sys.OK {
+		return
 	}
-
-	rfd, e := p.Open(files[0], sys.O_RDONLY, 0)
-	r.check(e)
-	if e == sys.OK {
-		rbuf := make([]byte, 8192)
-		nr := workload.ScaleCount(fullReads, r.cfg.Scale)
-		for i := 0; i < nr; i++ {
-			size := int64(1) << uint(r.rng.Intn(13))
-			_, re := p.Read(rfd, rbuf[:size])
-			r.check(re)
-			if i%8 == 7 {
-				_, se := p.Lseek(rfd, 0, sys.SEEK_SET)
-				r.check(se)
-			}
+	var pos int64
+	for i := lo; i < hi; i++ {
+		size := wdist.Pick(r.rng)
+		_, we := p.Write(wfd, r.buf.Get(size))
+		r.check(we)
+		pos += size
+		if pos > 1<<20 {
+			_, se := p.Lseek(wfd, 0, sys.SEEK_SET)
+			r.check(se)
+			pos = 0
 		}
-		nl := workload.ScaleCount(fullLseeks, r.cfg.Scale)
-		for i := 0; i < nl; i++ {
-			whence := []int{sys.SEEK_SET, sys.SEEK_CUR, sys.SEEK_END}[r.rng.Intn(3)]
-			_, se := p.Lseek(rfd, int64(r.rng.Intn(8192)), whence)
+	}
+	r.check(p.Close(wfd))
+}
+
+func (r *runner) stormReads(c, lo, hi int) {
+	p := r.p
+	f := fmt.Sprintf("%s/cm-storm-r%02d", r.mnt, c)
+	wfd, e := p.Open(f, sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	_, we := p.Write(wfd, r.buf.Get(8192))
+	r.check(we)
+	r.check(p.Close(wfd))
+	rfd, e := p.Open(f, sys.O_RDONLY, 0)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	rbuf := make([]byte, 8192)
+	for i := lo; i < hi; i++ {
+		size := int64(1) << uint(r.rng.Intn(13))
+		_, re := p.Read(rfd, rbuf[:size])
+		r.check(re)
+		if i%8 == 7 {
+			_, se := p.Lseek(rfd, 0, sys.SEEK_SET)
 			r.check(se)
 		}
-		r.check(p.Close(rfd))
 	}
+	r.check(p.Close(rfd))
+}
+
+func (r *runner) stormLseeks(c, lo, hi int) {
+	p := r.p
+	f := fmt.Sprintf("%s/cm-storm-s%02d", r.mnt, c)
+	wfd, e := p.Open(f, sys.O_WRONLY|sys.O_CREAT|sys.O_TRUNC, 0o644)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	_, we := p.Write(wfd, r.buf.Get(8192))
+	r.check(we)
+	r.check(p.Close(wfd))
+	rfd, e := p.Open(f, sys.O_RDONLY, 0)
+	r.check(e)
+	if e != sys.OK {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		whence := []int{sys.SEEK_SET, sys.SEEK_CUR, sys.SEEK_END}[r.rng.Intn(3)]
+		_, se := p.Lseek(rfd, int64(r.rng.Intn(8192)), whence)
+		r.check(se)
+	}
+	r.check(p.Close(rfd))
 }

@@ -156,6 +156,35 @@ func ScaleCount(n int, scale float64) int {
 	return s
 }
 
+// ItemSeed derives a decorrelated RNG seed for one work item of a suite
+// run. Suites are decomposed into independent work items (one test, one
+// storm chunk); each item draws from its own RNG seeded by (run seed, item
+// index) so that the generated workload is a pure function of the item,
+// independent of which shard executes it or how many shards exist. The
+// mixing is the splitmix64 finalizer, so adjacent item indices yield
+// decorrelated streams.
+func ItemSeed(seed int64, item uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(item+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// ItemRNG returns the RNG for one work item (see ItemSeed).
+func ItemRNG(seed int64, item uint64) *rand.Rand {
+	return rand.New(rand.NewSource(ItemSeed(seed, item)))
+}
+
+// ChunkRange splits n ops into `chunks` contiguous ranges and returns the
+// half-open range [lo, hi) of chunk c. Ranges cover 0..n exactly and differ
+// in size by at most one; a chunk can be empty when n < chunks.
+func ChunkRange(n, chunks, c int) (lo, hi int) {
+	return c * n / chunks, (c + 1) * n / chunks
+}
+
 // SharedBuf hands out read-only slices of a single zero-filled buffer so
 // that large writes do not allocate per call. Not safe for concurrent use.
 type SharedBuf struct {

@@ -117,6 +117,57 @@ func TestScaleCount(t *testing.T) {
 	}
 }
 
+func TestItemSeedDecorrelated(t *testing.T) {
+	// Distinct item indices must yield distinct seeds, and the same
+	// (seed, item) pair must always yield the same seed.
+	seen := map[int64]uint64{}
+	for i := uint64(0); i < 10_000; i++ {
+		s := ItemSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ItemSeed collision: items %d and %d both -> %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if ItemSeed(42, 7) != ItemSeed(42, 7) {
+		t.Error("ItemSeed not deterministic")
+	}
+	if ItemSeed(42, 7) == ItemSeed(43, 7) {
+		t.Error("ItemSeed ignores the run seed")
+	}
+}
+
+func TestItemRNGDeterministic(t *testing.T) {
+	a, b := ItemRNG(1, 5), ItemRNG(1, 5)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("ItemRNG streams diverge for the same item")
+		}
+	}
+}
+
+func TestChunkRange(t *testing.T) {
+	for _, c := range []struct{ n, chunks int }{
+		{100, 8}, {7, 8}, {0, 4}, {1, 1}, {16, 16}, {33, 8},
+	} {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < c.chunks; i++ {
+			lo, hi := ChunkRange(c.n, c.chunks, i)
+			if lo != prevHi {
+				t.Errorf("ChunkRange(%d,%d,%d): lo=%d, want %d (contiguous)", c.n, c.chunks, i, lo, prevHi)
+			}
+			if hi < lo {
+				t.Errorf("ChunkRange(%d,%d,%d): hi=%d < lo=%d", c.n, c.chunks, i, hi, lo)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != c.n || prevHi != c.n {
+			t.Errorf("ChunkRange(%d,%d): covered %d ops ending at %d", c.n, c.chunks, covered, prevHi)
+		}
+	}
+}
+
 func TestSharedBuf(t *testing.T) {
 	b := NewSharedBuf(1024)
 	if got := len(b.Get(100)); got != 100 {

@@ -7,27 +7,67 @@ import (
 	"iocov/internal/sys"
 )
 
+// Each storm phase is split into a fixed number of chunks so the phase can
+// be distributed over shards. Chunk counts are constants — they must not
+// depend on the shard count, or the generated workload would change with
+// the worker pool size. Every chunk is self-contained: it creates its own
+// scratch files (chunk-scoped names), draws from its own item RNG, and
+// cleans up before finishing.
+const (
+	chunksOpens     = 32
+	chunksWrites    = 16
+	chunksReads     = 16
+	chunksLseeks    = 8
+	chunksTruncates = 8
+	chunksMkdirs    = 8
+	chunksChmods    = 8
+	chunksXattrs    = 8
+)
+
 // storm runs the distribution-driven bulk of the suite. The scenario
 // templates (tests.go) give the run its error-path breadth; the storm gives
 // it the paper's magnitudes: open-flag frequencies, Table 1 combination
 // percentages, and the Figure 3 write-size profile all emerge from the
 // weights in xfstests.go.
 func (r *runner) storm() {
-	r.stormOpens()
-	r.stormWrites()
-	r.stormReads()
-	r.stormLseeks()
-	r.stormTruncates()
-	r.stormMkdirs()
-	r.stormChmods()
-	r.stormXattrs()
+	r.stormPhase(chunksOpens, workload.ScaleCount(stormOpens, r.cfg.Scale), r.stormOpens)
+	r.stormPhase(chunksWrites, workload.ScaleCount(stormWrites, r.cfg.Scale), r.stormWrites)
+	r.stormPhase(chunksReads, workload.ScaleCount(stormReads, r.cfg.Scale), r.stormReads)
+	r.stormPhase(chunksLseeks, workload.ScaleCount(stormLseeks, r.cfg.Scale), r.stormLseeks)
+	r.stormPhase(chunksTruncates, workload.ScaleCount(stormTruncates, r.cfg.Scale), r.stormTruncates)
+	r.stormPhase(chunksMkdirs, workload.ScaleCount(stormMkdirs, r.cfg.Scale), r.stormMkdirs)
+	r.stormPhase(chunksChmods, workload.ScaleCount(stormChmods, r.cfg.Scale), r.stormChmods)
+	// The xattr phase interleaves two op budgets (sets then gets), so its
+	// chunks are dispatched explicitly with both ranges.
+	nset := workload.ScaleCount(stormSetxattrs, r.cfg.Scale)
+	nget := workload.ScaleCount(stormGetxattrs, r.cfg.Scale)
+	for c := 0; c < chunksXattrs; c++ {
+		slo, shi := workload.ChunkRange(nset, chunksXattrs, c)
+		glo, ghi := workload.ChunkRange(nget, chunksXattrs, c)
+		if slo >= shi && glo >= ghi {
+			continue
+		}
+		r.item(func() { r.stormXattrs(c, slo, shi, glo, ghi) })
+	}
 }
 
-func (r *runner) stormOpens() {
+// stormPhase dispatches one phase's op budget as chunk work items. Empty
+// chunks (n < chunks) are skipped before item assignment; emptiness depends
+// only on (n, chunks, c), so the item enumeration stays shard-invariant.
+func (r *runner) stormPhase(chunks, n int, fn func(c, lo, hi int)) {
+	for c := 0; c < chunks; c++ {
+		lo, hi := workload.ChunkRange(n, chunks, c)
+		if lo >= hi {
+			continue
+		}
+		r.item(func() { fn(c, lo, hi) })
+	}
+}
+
+func (r *runner) stormOpens(c, lo, hi int) {
 	p := r.root
 	combos := workload.NewWeightedFlags(openCombos)
-	n := workload.ScaleCount(stormOpens, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		flags := combos.Pick(r.rng)
 		var path string
 		excl := flags&sys.O_EXCL != 0
@@ -35,6 +75,8 @@ func (r *runner) stormOpens() {
 		case flags&sys.O_DIRECTORY != 0:
 			path = r.poolDirs[r.rng.Intn(len(r.poolDirs))]
 		case excl:
+			// The global op index keeps exclusive-create names unique
+			// across chunks.
 			path = fmt.Sprintf("%s/excl-%d", r.mnt, i)
 		default:
 			path = r.poolFiles[r.rng.Intn(len(r.poolFiles))]
@@ -70,11 +112,11 @@ func (r *runner) stormOpens() {
 	}
 }
 
-func (r *runner) stormWrites() {
+func (r *runner) stormWrites(c, lo, hi int) {
 	p := r.root
 	dist := workload.NewSizeDist(writeSizes, MaxWriteSize)
-	small := r.mnt + "/storm-w"
-	big := r.mnt + "/storm-wbig"
+	small := fmt.Sprintf("%s/storm-w-c%02d", r.mnt, c)
+	big := fmt.Sprintf("%s/storm-wbig-c%02d", r.mnt, c)
 	sfd, e := p.Open(small, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
 	r.check(e)
 	bfd, e2 := p.Open(big, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
@@ -84,8 +126,7 @@ func (r *runner) stormWrites() {
 	}
 	const smallLimit = 4 << 20 // rotate the sequential file at 4 MiB
 	var pos int64
-	n := workload.ScaleCount(stormWrites, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		size := dist.Pick(r.rng)
 		switch {
 		case size > smallLimit:
@@ -118,10 +159,10 @@ func (r *runner) stormWrites() {
 	r.check(p.Unlink(big))
 }
 
-func (r *runner) stormReads() {
+func (r *runner) stormReads(c, lo, hi int) {
 	p := r.root
 	dist := workload.NewSizeDist(readSizes, 1<<20)
-	f := r.mnt + "/storm-r"
+	f := fmt.Sprintf("%s/storm-r-c%02d", r.mnt, c)
 	wfd, e := p.Open(f, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, 0o644)
 	r.check(e)
 	if e != sys.OK {
@@ -138,8 +179,7 @@ func (r *runner) stormReads() {
 	}
 	rbuf := make([]byte, 1<<20)
 	var pos int64
-	n := workload.ScaleCount(stormReads, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		size := dist.Pick(r.rng)
 		switch v := r.rng.Intn(100); {
 		case v < 15:
@@ -165,9 +205,9 @@ func (r *runner) stormReads() {
 	r.check(p.Unlink(f))
 }
 
-func (r *runner) stormLseeks() {
+func (r *runner) stormLseeks(c, lo, hi int) {
 	p := r.root
-	f := r.mnt + "/storm-s"
+	f := fmt.Sprintf("%s/storm-s-c%02d", r.mnt, c)
 	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
 	r.check(e)
 	if e != sys.OK {
@@ -180,8 +220,7 @@ func (r *runner) stormLseeks() {
 		{Bucket: 9, Weight: 12}, {Bucket: 12, Weight: 20}, {Bucket: 16, Weight: 14},
 		{Bucket: 19, Weight: 8}, {Bucket: 24, Weight: 3}, {Bucket: 30, Weight: 1},
 	}, 0)
-	n := workload.ScaleCount(stormLseeks, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		off := offsets.Pick(r.rng)
 		var whence int
 		switch v := r.rng.Intn(1000); {
@@ -207,17 +246,16 @@ func (r *runner) stormLseeks() {
 	r.check(p.Unlink(f))
 }
 
-func (r *runner) stormTruncates() {
+func (r *runner) stormTruncates(c, lo, hi int) {
 	p := r.root
 	dist := workload.NewSizeDist(truncLengths, 64<<20)
-	f := r.mnt + "/storm-t"
+	f := fmt.Sprintf("%s/storm-t-c%02d", r.mnt, c)
 	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
 	r.check(e)
 	if e != sys.OK {
 		return
 	}
-	n := workload.ScaleCount(stormTruncates, r.cfg.Scale)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		length := dist.Pick(r.rng)
 		if r.rng.Intn(10) < 3 {
 			r.check(p.Ftruncate(fd, length))
@@ -230,32 +268,35 @@ func (r *runner) stormTruncates() {
 	r.check(p.Unlink(f))
 }
 
-func (r *runner) stormMkdirs() {
+func (r *runner) stormMkdirs(c, lo, hi int) {
 	p := r.root
-	n := workload.ScaleCount(stormMkdirs, r.cfg.Scale)
-	for i := 0; i < n; i++ {
-		d := fmt.Sprintf("%s/storm-d%03d", r.mnt, i%256)
+	dir := func(j int) string {
+		return fmt.Sprintf("%s/storm-d-c%02d-%03d", r.mnt, c, j%256)
+	}
+	n := hi - lo
+	for j := 0; j < n; j++ {
+		d := dir(j)
 		mode := mkdirModes[r.rng.Intn(len(mkdirModes))]
 		if r.rng.Intn(5) == 0 {
 			r.check(p.Mkdirat(sys.AT_FDCWD, d, mode))
 		} else {
 			r.check(p.Mkdir(d, mode))
 		}
-		if i%256 >= 128 || r.rng.Intn(2) == 0 {
+		if j%256 >= 128 || r.rng.Intn(2) == 0 {
 			r.check(p.Rmdir(d))
 		}
 	}
-	for i := 0; i < 256; i++ {
-		_ = p.Rmdir(fmt.Sprintf("%s/storm-d%03d", r.mnt, i))
+	// Sweep the chunk's name space so nothing leaks past the item.
+	for j := 0; j < 256 && j < n; j++ {
+		_ = p.Rmdir(dir(j))
 	}
 }
 
-func (r *runner) stormChmods() {
+func (r *runner) stormChmods(c, lo, hi int) {
 	p := r.root
-	n := workload.ScaleCount(stormChmods, r.cfg.Scale)
 	fd, e := p.Open(r.poolFiles[0], sys.O_RDWR, 0)
 	r.check(e)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		mode := chmodModes[r.rng.Intn(len(chmodModes))]
 		target := r.poolFiles[r.rng.Intn(len(r.poolFiles))]
 		switch v := r.rng.Intn(10); {
@@ -270,24 +311,25 @@ func (r *runner) stormChmods() {
 	if e == sys.OK {
 		r.check(p.Close(fd))
 	}
-	// Restore pool permissions for later phases.
+	// Restore pool permissions before the item ends, so no later item's
+	// behavior can depend on which shard ran this chunk.
 	for _, f := range r.poolFiles {
 		r.check(p.Chmod(f, 0o666))
 	}
 }
 
-func (r *runner) stormXattrs() {
+func (r *runner) stormXattrs(c, slo, shi, glo, ghi int) {
 	p := r.root
 	dist := workload.NewSizeDist(xattrSizes, 60000)
-	f := r.mnt + "/storm-x"
+	f := fmt.Sprintf("%s/storm-x-c%02d", r.mnt, c)
+	link := fmt.Sprintf("%s/storm-xl-c%02d", r.mnt, c)
 	fd, e := p.Open(f, sys.O_CREAT|sys.O_RDWR, 0o644)
 	r.check(e)
 	if e != sys.OK {
 		return
 	}
-	r.check(p.Symlink(f, r.mnt+"/storm-xl"))
-	nset := workload.ScaleCount(stormSetxattrs, r.cfg.Scale)
-	for i := 0; i < nset; i++ {
+	r.check(p.Symlink(f, link))
+	for i := slo; i < shi; i++ {
 		name := fmt.Sprintf("user.s%d", i%4)
 		size := dist.Pick(r.rng)
 		var flags int
@@ -305,12 +347,11 @@ func (r *runner) stormXattrs() {
 		case v < 9:
 			r.check(p.Fsetxattr(fd, name, r.buf.Get(size), flags))
 		default:
-			r.check(p.Lsetxattr(r.mnt+"/storm-xl", name, r.buf.Get(size), flags))
+			r.check(p.Lsetxattr(link, name, r.buf.Get(size), flags))
 		}
 	}
-	nget := workload.ScaleCount(stormGetxattrs, r.cfg.Scale)
 	gbuf := make([]byte, 1<<16)
-	for i := 0; i < nget; i++ {
+	for i := glo; i < ghi; i++ {
 		name := fmt.Sprintf("user.s%d", i%4)
 		if r.rng.Intn(10) == 0 {
 			name = "user.absent" // ENODATA path
@@ -327,11 +368,11 @@ func (r *runner) stormXattrs() {
 			_, ge := p.Fgetxattr(fd, name, gbuf[:size])
 			r.check(ge)
 		default:
-			_, ge := p.Lgetxattr(r.mnt+"/storm-xl", name, gbuf[:size])
+			_, ge := p.Lgetxattr(link, name, gbuf[:size])
 			r.check(ge)
 		}
 	}
 	r.check(p.Close(fd))
-	r.check(p.Unlink(r.mnt + "/storm-xl"))
+	r.check(p.Unlink(link))
 	r.check(p.Unlink(f))
 }

@@ -37,8 +37,10 @@ func (r *runner) runTests() {
 		}
 	}
 	for i := 0; i < n; i++ {
-		templates[i%len(templates)](i)
-		r.stats.Tests++
+		r.item(func() {
+			templates[i%len(templates)](i)
+			r.stats.Tests++
+		})
 	}
 }
 

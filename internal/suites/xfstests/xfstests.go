@@ -56,6 +56,14 @@ type Config struct {
 	// /tmp scratch) that the trace filter must discard. Enabled by
 	// default-ish callers; zero value disables.
 	Noise bool
+	// Shard and Shards select a deterministic slice of the run's work
+	// items for parallel execution. The suite is decomposed into
+	// independent items (one scenario test, one storm chunk), each with
+	// its own seed-derived RNG; item g runs iff g % Shards == Shard, so
+	// the union of work over all shards is identical to a serial run
+	// whatever the shard count. Zero Shards means 1 (run everything).
+	Shard  int
+	Shards int
 }
 
 // Stats summarizes a run.
@@ -77,6 +85,9 @@ func (c *Config) fill() {
 	}
 	if c.FSTests <= 0 {
 		c.FSTests = 308
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 }
 
@@ -208,12 +219,34 @@ type runner struct {
 	mnt       string
 	poolFiles []string
 	poolDirs  []string
+
+	// nextItem is the running work-item counter used for shard
+	// assignment; it advances identically on every shard.
+	nextItem int
+}
+
+// item runs fn as one deterministic work item. Items are enumerated in a
+// fixed order by the running counter, assigned round-robin to shards, and
+// each executes under an item-local RNG derived from (seed, item index) —
+// so the union of generated workloads over all shards, and therefore the
+// filtered trace reaching the analyzer, is independent of the shard count.
+func (r *runner) item(fn func()) {
+	g := r.nextItem
+	r.nextItem++
+	if g%r.cfg.Shards != r.cfg.Shard {
+		return
+	}
+	r.rng = workload.ItemRNG(r.cfg.Seed, uint64(g))
+	fn()
 }
 
 // Run executes the simulated suite against k. The kernel's filesystem must
 // be writable and empty enough to host the mount point.
 func Run(k *kernel.Kernel, cfg Config) (Stats, error) {
 	cfg.fill()
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return Stats{}, fmt.Errorf("xfstests: shard %d out of range [0,%d)", cfg.Shard, cfg.Shards)
+	}
 	r := &runner{
 		cfg:  cfg,
 		k:    k,
@@ -223,8 +256,18 @@ func Run(k *kernel.Kernel, cfg Config) (Stats, error) {
 		buf:  workload.NewSharedBuf(MaxWriteSize),
 		mnt:  cfg.MountPoint,
 	}
-	if err := r.setup(); err != nil {
+	// Setup runs untraced: every shard rebuilds the same mount point and
+	// pools on its own filesystem, and those bookkeeping events must not
+	// reach the analyzer once per shard when a serial run emits them once.
+	sink := k.Sink()
+	k.SetSink(nil)
+	err := r.setup()
+	k.SetSink(sink)
+	if err != nil {
 		return r.stats, err
+	}
+	if cfg.Noise {
+		r.emitNoise()
 	}
 	r.runTests()
 	r.storm()
@@ -274,9 +317,6 @@ func (r *runner) setup() error {
 			return fmt.Errorf("xfstests: mkdir %s: %v", d, e)
 		}
 		r.poolDirs = append(r.poolDirs, d)
-	}
-	if r.cfg.Noise {
-		r.emitNoise()
 	}
 	return nil
 }
