@@ -1,22 +1,33 @@
-# Tier-1 verification plus the race gate for the sharded pipeline.
+# Tier-1 verification plus the race and static-analysis gates.
 #
-#   make verify   - build everything and run the full test suite (tier-1)
+#   make verify   - build, full test suite, go vet, and iocovlint (tier-1)
 #   make race     - the same tests under the race detector; the parallel
 #                   worker-pool path (harness.RunParallel) makes this the
 #                   gate for shard-isolation regressions
+#   make vet      - the standard go vet checks
+#   make lint     - iocovlint: domaincheck, speccheck, shardcheck, errcheck
+#                   over the whole repository (exit 1 on any finding)
 #   make bench    - serial-vs-parallel suite benchmarks
 #   make figures  - regenerate the paper's evaluation figures
 
 GO ?= go
 
-.PHONY: verify race bench figures
+.PHONY: verify race vet lint bench figures
 
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) vet
+	$(MAKE) lint
 
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/iocovlint
 
 bench:
 	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .

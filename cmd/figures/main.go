@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"iocov/internal/coverage"
 	"iocov/internal/harness"
@@ -27,8 +28,15 @@ func main() {
 	only := flag.String("only", "", "regenerate only one artifact: 2, 3, 4, 5, or t1 (default all)")
 	scale := flag.Float64("scale", 0.1, "workload scale; 1.0 = the paper's full-run magnitudes")
 	seed := flag.Int64("seed", 1, "workload seed")
-	workers := flag.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for the sharded pipeline (default: all cores)")
 	flag.Parse()
+
+	if *workers < 1 {
+		flag.Usage()
+		fmt.Fprintf(os.Stderr, "figures: -workers must be at least 1, got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	fmt.Printf("# IOCov evaluation figures (scale %g, seed %d)\n", *scale, *seed)
 	fmt.Printf("# suites: simulated xfstests (706 generic + 308 ext4 tests) and CrashMonkey (seq-1 + generic)\n\n")

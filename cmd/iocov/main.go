@@ -6,7 +6,7 @@
 //
 //	iocov run -suite xfstests|crashmonkey [-scale F] [-seed N] [-workers N] [-trace FILE]
 //	    Run a simulated suite through the pipeline; print coverage. The run
-//	    is sharded across -workers goroutines (default GOMAXPROCS) with a
+//	    is sharded across -workers goroutines (default: all cores) with a
 //	    snapshot identical to a serial run. With -trace, also write the
 //	    filtered trace to FILE (forces a single serial worker).
 //
@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"iocov"
 	"iocov/internal/coverage"
@@ -76,6 +77,23 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iocov run|analyze|untested|tcd|compare|diff|suggest|convert|spec [flags]")
 	os.Exit(2)
+}
+
+// workersFlag registers the shared -workers flag; the default saturates the
+// machine. extra is appended to the help text.
+func workersFlag(fs *flag.FlagSet, extra string) *int {
+	return fs.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for the sharded pipeline (default: all cores)"+extra)
+}
+
+// validateWorkers rejects non-positive -workers values with the subcommand's
+// usage text.
+func validateWorkers(fs *flag.FlagSet, n int) error {
+	if n < 1 {
+		fs.Usage()
+		return fmt.Errorf("-workers must be at least 1, got %d", n)
+	}
+	return nil
 }
 
 // cmdSpec prints the syscall table IOCov is built on: base syscalls,
@@ -288,8 +306,11 @@ func cmdCompare(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	syscall := fs.String("syscall", "open", "syscall to compare")
 	arg := fs.String("arg", "flags", "input argument to compare (\"\" = output space)")
-	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
+	workers := workersFlag(fs, "")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(fs, *workers); err != nil {
 		return err
 	}
 	xfs, cm, err := harness.RunBothParallel(*scale, *seed, *workers)
@@ -327,8 +348,11 @@ func cmdRun(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the coverage snapshot as JSON")
 	extended := fs.Bool("extended", false, "analyze with the future-work extended syscall table")
 	combos := fs.Bool("combinations", false, "track distinct bitmap combinations as partitions")
-	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS; -trace forces 1)")
+	workers := workersFlag(fs, "; -trace forces 1")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(fs, *workers); err != nil {
 		return err
 	}
 	opts := coverage.DefaultOptions()
@@ -457,8 +481,11 @@ func cmdUntested(args []string) error {
 	scale := fs.Float64("scale", 0.1, "workload scale")
 	seed := fs.Int64("seed", 1, "workload seed")
 	mount := fs.String("mount", harness.MountPattern, "mount-point regexp")
-	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
+	workers := workersFlag(fs, "")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(fs, *workers); err != nil {
 		return err
 	}
 	var an *coverage.Analyzer
@@ -507,8 +534,11 @@ func cmdTCD(args []string) error {
 	syscall := fs.String("syscall", "open", "syscall whose argument to score")
 	arg := fs.String("arg", "flags", "argument to score")
 	target := fs.Int64("target", 1000, "uniform per-partition test target")
-	workers := fs.Int("workers", 0, "worker goroutines for the sharded pipeline (0 = GOMAXPROCS)")
+	workers := workersFlag(fs, "")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(fs, *workers); err != nil {
 		return err
 	}
 	an, err := harness.RunParallel(*suite, *scale, *seed, *workers, coverage.DefaultOptions())

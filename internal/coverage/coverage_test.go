@@ -41,7 +41,7 @@ func TestInputCoverageOpenFlags(t *testing.T) {
 		t.Errorf("O_SYNC = %d, want 0", c.Count("O_SYNC"))
 	}
 	rep := a.InputReport("open", "flags")
-	if rep.DomainSize() != 20 {
+	if rep.DomainSize() != 21 { // 20 flags + O_ACCMODE_INVALID
 		t.Errorf("domain = %d", rep.DomainSize())
 	}
 	if rep.Covered() != 6 { // O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC... count: RDONLY,WRONLY,CREAT,RDWR,TRUNC = 5
@@ -246,8 +246,8 @@ func TestUntestedAll(t *testing.T) {
 	for _, s := range sums {
 		if s.Syscall == "open" && s.Arg == "flags" {
 			foundFlags = true
-			if len(s.Labels) != 19 { // 20 flags - O_RDONLY
-				t.Errorf("open flags untested = %d, want 19", len(s.Labels))
+			if len(s.Labels) != 20 { // 21-label domain - O_RDONLY
+				t.Errorf("open flags untested = %d, want 20", len(s.Labels))
 			}
 		}
 	}

@@ -28,7 +28,7 @@ func TestSnapshotContents(t *testing.T) {
 	if flags.Counts["O_CREAT"] != 1 || flags.Counts["O_RDONLY"] != 1 {
 		t.Errorf("flag counts = %v", flags.Counts)
 	}
-	if flags.Covered != 3 || flags.Domain != 20 {
+	if flags.Covered != 3 || flags.Domain != 21 {
 		t.Errorf("covered/domain = %d/%d", flags.Covered, flags.Domain)
 	}
 	out := s.Space("open", "")

@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"iocov/internal/partition"
+	"iocov/internal/sys"
+	"iocov/internal/sysspec"
+)
+
+// DomainCheck proves the partition-domain contract: every label a scheme's
+// Partitions() can emit is declared by its Domain(), domains are
+// duplicate-free, and numeric/output domains are canonically ordered. The
+// pass is hybrid:
+//
+//   - a static check over the target source flags any constant label
+//     returned by a Partitions method that the paired Domain method never
+//     mentions (the exact shape of the pre-PR-1 BytesScheme "<0" bug), with
+//     a position on the offending return;
+//   - an exhaustive probe of the live partition registry and the
+//     sysspec output domains covers the dynamically-built labels a static
+//     check cannot see.
+type DomainCheck struct {
+	// SchemesPackage is the import path whose source carries the scheme
+	// implementations; probe findings are attributed to its Domain methods
+	// when the package is part of the target.
+	SchemesPackage string
+}
+
+// NewDomainCheck returns the pass configured for this repository.
+func NewDomainCheck() *DomainCheck {
+	return &DomainCheck{SchemesPackage: "iocov/internal/partition"}
+}
+
+// Name implements Pass.
+func (d *DomainCheck) Name() string { return "domaincheck" }
+
+// Run implements Pass.
+func (d *DomainCheck) Run(t *Target) []Finding {
+	out := d.staticCheck(t)
+	out = append(out, d.probeRegistry(t)...)
+	return out
+}
+
+// staticCheck pairs Partitions/Domain methods by receiver type in every
+// target package and checks constant label flow between them.
+func (d *DomainCheck) staticCheck(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		type methods struct{ partitions, domain *ast.FuncDecl }
+		byRecv := make(map[string]*methods)
+		recvOrder := []string{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+					continue
+				}
+				recv := recvTypeName(fd.Recv.List[0].Type)
+				if recv == "" {
+					continue
+				}
+				m := byRecv[recv]
+				if m == nil {
+					m = &methods{}
+					byRecv[recv] = m
+					recvOrder = append(recvOrder, recv)
+				}
+				switch fd.Name.Name {
+				case "Partitions":
+					m.partitions = fd
+				case "Domain":
+					m.domain = fd
+				}
+			}
+		}
+		sort.Strings(recvOrder)
+		for _, recv := range recvOrder {
+			m := byRecv[recv]
+			if m.partitions == nil || m.domain == nil {
+				continue
+			}
+			domainConsts := constantStrings(pkg, m.domain.Body)
+			out = append(out, domainDuplicates(d.Name(), t, pkg, recv, m.domain.Body)...)
+			for _, lbl := range returnedConstants(pkg, m.partitions.Body) {
+				if _, ok := domainConsts[lbl.value]; !ok {
+					out = append(out, Finding{
+						Pass: d.Name(),
+						Pos:  t.Position(lbl.pos),
+						Message: fmt.Sprintf("%s.Partitions may emit label %q that %s.Domain() never declares",
+							recv, lbl.value, recv),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// constLabel is a string constant with the position it was written at.
+type constLabel struct {
+	value string
+	pos   token.Pos
+}
+
+// returnedConstants collects the constant string elements of slice literals
+// inside the return statements of a Partitions body.
+func returnedConstants(pkg *Package, body *ast.BlockStmt) []constLabel {
+	var out []constLabel
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			lit, ok := res.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range lit.Elts {
+				if v, ok := constString(pkg, elt); ok {
+					out = append(out, constLabel{value: v, pos: elt.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// constantStrings collects every folded string constant in a subtree.
+func constantStrings(pkg *Package, node ast.Node) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok {
+			if v, ok := constString(pkg, expr); ok {
+				if _, seen := out[v]; !seen {
+					out[v] = expr.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// domainDuplicates flags constant labels repeated inside one slice literal
+// of a Domain body.
+func domainDuplicates(pass string, t *Target, pkg *Package, recv string, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		seen := make(map[string]bool)
+		for _, elt := range lit.Elts {
+			v, ok := constString(pkg, elt)
+			if !ok {
+				continue
+			}
+			if seen[v] {
+				out = append(out, Finding{
+					Pass: pass,
+					Pos:  t.Position(elt.Pos()),
+					Message: fmt.Sprintf("%s.Domain() repeats label %q in one literal",
+						recv, v),
+				})
+			}
+			seen[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// constString reports the folded string value of an expression, when the
+// type checker proved it constant.
+func constString(pkg *Package, expr ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// recvTypeName extracts the base type name of a method receiver.
+func recvTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// probeRegistry runs the exhaustive probes against the live partition and
+// sysspec registries, attributing findings to the schemes package source
+// when it is part of the target.
+func (d *DomainCheck) probeRegistry(t *Target) []Finding {
+	var out []Finding
+	seenMsg := make(map[string]bool)
+	add := func(pos token.Position, msg string) {
+		if seenMsg[msg] {
+			return
+		}
+		seenMsg[msg] = true
+		out = append(out, Finding{Pass: d.Name(), Pos: pos, Message: msg})
+	}
+
+	for _, scheme := range registrySchemes() {
+		in := partition.ForScheme(scheme)
+		if in == nil {
+			continue
+		}
+		pos := d.domainMethodPos(t, in)
+		for _, msg := range ProbeScheme(in) {
+			add(pos, msg)
+		}
+	}
+
+	outputPos := d.funcPos(t, "OutputDomain")
+	probedBases := make(map[string]bool)
+	for _, tbl := range []*sysspec.Table{sysspec.NewTable(), sysspec.NewExtendedTable()} {
+		for _, base := range tbl.Bases() {
+			if probedBases[base] {
+				continue
+			}
+			probedBases[base] = true
+			for _, msg := range ProbeOutputDomain(tbl.Spec(base)) {
+				add(outputPos, msg)
+			}
+		}
+	}
+	return out
+}
+
+// registrySchemes enumerates every partitioned scheme name declared across
+// the standard and extended sysspec tables.
+func registrySchemes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, tbl := range []*sysspec.Table{sysspec.NewTable(), sysspec.NewExtendedTable()} {
+		for _, base := range tbl.Bases() {
+			for _, arg := range tbl.Spec(base).TrackedArgs() {
+				if !seen[arg.Scheme] {
+					seen[arg.Scheme] = true
+					out = append(out, arg.Scheme)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// domainMethodPos locates the Domain method of the scheme's dynamic type in
+// the schemes package.
+func (d *DomainCheck) domainMethodPos(t *Target, in partition.Input) token.Position {
+	typeName := fmt.Sprintf("%T", in)
+	if i := strings.LastIndex(typeName, "."); i >= 0 {
+		typeName = typeName[i+1:]
+	}
+	return d.methodPos(t, typeName, "Domain")
+}
+
+func (d *DomainCheck) methodPos(t *Target, recv, method string) token.Position {
+	pkg := t.Package(d.SchemesPackage)
+	if pkg == nil {
+		return token.Position{}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method {
+				continue
+			}
+			if fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) == recv {
+				return t.Position(fd.Pos())
+			}
+		}
+	}
+	return token.Position{}
+}
+
+// funcPos locates a top-level function in the schemes package.
+func (d *DomainCheck) funcPos(t *Target, name string) token.Position {
+	pkg := t.Package(d.SchemesPackage)
+	if pkg == nil {
+		return token.Position{}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return t.Position(fd.Pos())
+			}
+		}
+	}
+	return token.Position{}
+}
+
+// ProbeScheme exhaustively probes one partitioning scheme against its
+// declared domain and returns the violated invariants as messages. It is
+// exported so tests can aim it at known-bad scheme implementations.
+func ProbeScheme(in partition.Input) []string {
+	var msgs []string
+	name := in.Scheme()
+	domain := in.Domain()
+
+	if len(domain) == 0 {
+		return []string{fmt.Sprintf("scheme %q: Domain() is empty", name)}
+	}
+	domainSet := make(map[string]bool, len(domain))
+	for _, lbl := range domain {
+		if domainSet[lbl] {
+			msgs = append(msgs, fmt.Sprintf("scheme %q: Domain() repeats label %q", name, lbl))
+		}
+		domainSet[lbl] = true
+	}
+	msgs = append(msgs, checkNumericOrder(name, domain)...)
+
+	hit := make(map[string]bool)
+	for _, v := range probeValues() {
+		for _, lbl := range in.Partitions(v) {
+			hit[lbl] = true
+			if !domainSet[lbl] {
+				msgs = append(msgs, fmt.Sprintf(
+					"scheme %q: Partitions(%d) emits label %q outside Domain()", name, v, lbl))
+			}
+		}
+	}
+	for _, lbl := range domain {
+		if !hit[lbl] {
+			msgs = append(msgs, fmt.Sprintf(
+				"scheme %q: Domain() label %q is unreachable from Partitions() over the probe set", name, lbl))
+		}
+	}
+	sort.Strings(msgs)
+	return msgs
+}
+
+// ProbeOutputDomain probes partition.Output for one spec against
+// partition.OutputDomain and returns the violated invariants.
+func ProbeOutputDomain(spec *sysspec.Spec) []string {
+	var msgs []string
+	name := spec.Base
+	domain := partition.OutputDomain(spec)
+
+	domainSet := make(map[string]bool, len(domain))
+	for _, lbl := range domain {
+		if domainSet[lbl] {
+			msgs = append(msgs, fmt.Sprintf("output %q: OutputDomain() repeats label %q", name, lbl))
+		}
+		domainSet[lbl] = true
+	}
+	// Canonical order: success labels form a prefix, errno labels follow in
+	// ascending name order.
+	inErrnos := false
+	var prevErrno string
+	for _, lbl := range domain {
+		if partition.IsSuccess(lbl) {
+			if inErrnos {
+				msgs = append(msgs, fmt.Sprintf(
+					"output %q: success label %q appears after errno labels", name, lbl))
+			}
+			continue
+		}
+		if inErrnos && lbl < prevErrno {
+			msgs = append(msgs, fmt.Sprintf(
+				"output %q: errno label %q out of order (after %q)", name, lbl, prevErrno))
+		}
+		inErrnos = true
+		prevErrno = lbl
+	}
+	msgs = append(msgs, checkNumericOrder("output "+name, domain)...)
+
+	hit := make(map[string]bool)
+	probe := func(ret int64, err sys.Errno) {
+		lbl := partition.Output(spec.Ret, ret, err)
+		hit[lbl] = true
+		if !domainSet[lbl] {
+			msgs = append(msgs, fmt.Sprintf(
+				"output %q: Output(ret=%d, err=%s) emits label %q outside OutputDomain()",
+				name, ret, err.Name(), lbl))
+		}
+	}
+	for _, v := range probeValues() {
+		probe(v, sys.OK)
+	}
+	for _, e := range spec.Errnos {
+		probe(-int64(e), e)
+		probe(0, e)
+	}
+	for _, lbl := range domain {
+		if !hit[lbl] {
+			msgs = append(msgs, fmt.Sprintf(
+				"output %q: OutputDomain() label %q is unreachable from Output() over the probe set", name, lbl))
+		}
+	}
+	sort.Strings(msgs)
+	return msgs
+}
+
+// checkNumericOrder verifies the canonical numeric-domain order: any "<0"
+// and "=0" boundary labels precede the power-of-two buckets, whose exponents
+// strictly ascend. Labels may carry the "OK:" success prefix.
+func checkNumericOrder(name string, domain []string) []string {
+	var msgs []string
+	prevExp := -1
+	sawLog2 := false
+	for _, lbl := range domain {
+		bare := strings.TrimPrefix(lbl, partition.LabelOK+":")
+		if bare == partition.LabelNegative || bare == partition.LabelZero {
+			if sawLog2 {
+				msgs = append(msgs, fmt.Sprintf(
+					"%s: boundary label %q appears after power-of-two buckets", name, lbl))
+			}
+			continue
+		}
+		rest, ok := strings.CutPrefix(bare, "2^")
+		if !ok {
+			continue
+		}
+		exp, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		if sawLog2 && exp <= prevExp {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: power-of-two label %q out of order (after 2^%d)", name, lbl, prevExp))
+		}
+		sawLog2 = true
+		prevExp = exp
+	}
+	return msgs
+}
+
+// probeValues is the shared exhaustive probe set: numeric boundaries, every
+// power of two with its neighbours, every named flag and mode bit, flag
+// combinations with each access mode, and the categorical values of whence
+// and xattr flags (plus out-of-range values for each).
+func probeValues() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	add := func(vs ...int64) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	add(math.MinInt64, math.MaxInt64, -12345, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7)
+	for k := 0; k <= 62; k++ {
+		v := int64(1) << k
+		add(v-1, v, v+1)
+	}
+	for _, f := range sys.OpenFlagNames {
+		add(int64(f.Bit))
+		add(int64(f.Bit | sys.O_WRONLY))
+		add(int64(f.Bit | sys.O_RDWR))
+		add(int64(f.Bit | sys.O_ACCMODE)) // invalid access mode under each flag
+	}
+	add(int64(sys.O_RDWR | sys.O_CREAT | sys.O_TRUNC))
+	add(int64(sys.O_WRONLY | sys.O_CREAT | sys.O_EXCL | sys.O_SYNC))
+	var allFlags int64
+	for _, f := range sys.OpenFlagNames {
+		allFlags |= int64(f.Bit)
+	}
+	add(allFlags)
+	for _, b := range sys.ModeBitNames {
+		add(int64(b.Bit))
+	}
+	add(int64(sys.PermMask), 0o7777, 0o170000)
+	add(int64(sys.XATTR_CREATE), int64(sys.XATTR_REPLACE))
+	for w := int64(0); w < int64(len(sys.WhenceNames))+2; w++ {
+		add(w)
+	}
+	return out
+}

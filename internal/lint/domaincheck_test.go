@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"iocov/internal/partition"
+	"iocov/internal/sys"
+	"iocov/internal/sysspec"
+)
+
+// TestDomainCheckBadFixture runs the static check against the pre-PR-1
+// BytesScheme bug reproduced under testdata: Partitions can return the "<0"
+// label that Domain() never declares, and the diagnostic must point at the
+// exact return element.
+func TestDomainCheckBadFixture(t *testing.T) {
+	findings := NewDomainCheck().Run(fixtureTarget(t, "domaincheck_bad"))
+	if len(findings) != 1 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want exactly 1", len(findings))
+	}
+	f := findings[0]
+	want := `BytesScheme.Partitions may emit label "<0" that BytesScheme.Domain() never declares`
+	if !strings.Contains(f.Message, want) {
+		t.Errorf("message = %q, want it to contain %q", f.Message, want)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "bad.go") {
+		t.Errorf("finding filename = %q, want bad.go", f.Pos.Filename)
+	}
+	if wantLine := fixtureLine(t, "domaincheck_bad/bad.go", "return []string{labelNegative}"); f.Pos.Line != wantLine {
+		t.Errorf("finding line = %d, want %d (the labelNegative return)", f.Pos.Line, wantLine)
+	}
+}
+
+// TestDomainCheckGoodFixture is the fixed twin: a complete domain produces
+// no findings.
+func TestDomainCheckGoodFixture(t *testing.T) {
+	for _, f := range NewDomainCheck().Run(fixtureTarget(t, "domaincheck_good")) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// prePR1BytesScheme is a compiled reproduction of the original
+// BytesScheme.Domain bug for the probe side: the "<0" partition is reachable
+// but undeclared.
+type prePR1BytesScheme struct{}
+
+func (prePR1BytesScheme) Scheme() string { return "bytes-pre-pr1" }
+
+func (prePR1BytesScheme) Partitions(v int64) []string {
+	switch {
+	case v < 0:
+		return []string{partition.LabelNegative}
+	case v == 0:
+		return []string{partition.LabelZero}
+	default:
+		return []string{partition.Log2Label(partition.Log2Bucket(v))}
+	}
+}
+
+func (prePR1BytesScheme) Domain() []string {
+	out := []string{partition.LabelZero}
+	for k := 0; k <= partition.MaxLog2; k++ {
+		out = append(out, partition.Log2Label(k))
+	}
+	return out
+}
+
+// TestProbeSchemeFlagsPrePR1Bug proves the exhaustive probe catches the bug
+// class even when the labels never appear as source constants.
+func TestProbeSchemeFlagsPrePR1Bug(t *testing.T) {
+	msgs := ProbeScheme(prePR1BytesScheme{})
+	if len(msgs) == 0 {
+		t.Fatal("ProbeScheme found nothing on the pre-PR-1 bytes scheme")
+	}
+	want := `emits label "<0" outside Domain()`
+	for _, m := range msgs {
+		if strings.Contains(m, want) {
+			return
+		}
+	}
+	t.Fatalf("no probe message contains %q; have:\n%s", want, strings.Join(msgs, "\n"))
+}
+
+// TestProbeSchemeCleanRegistry probes every live scheme the sysspec tables
+// reference; the registry must satisfy all domain invariants.
+func TestProbeSchemeCleanRegistry(t *testing.T) {
+	schemes := registrySchemes()
+	if len(schemes) == 0 {
+		t.Fatal("no schemes enumerated from the sysspec tables")
+	}
+	probed := 0
+	for _, name := range schemes {
+		in := partition.ForScheme(name)
+		if in == nil {
+			continue // identifier schemes are not partitioned
+		}
+		probed++
+		for _, m := range ProbeScheme(in) {
+			t.Errorf("scheme %s: %s", name, m)
+		}
+	}
+	if probed == 0 {
+		t.Fatal("no partitioned schemes probed")
+	}
+}
+
+// TestProbeOutputDomainCleanTables probes every base spec's output domain in
+// both tables.
+func TestProbeOutputDomainCleanTables(t *testing.T) {
+	for _, tbl := range []*sysspec.Table{sysspec.NewTable(), sysspec.NewExtendedTable()} {
+		for _, base := range tbl.Bases() {
+			for _, m := range ProbeOutputDomain(tbl.Spec(base)) {
+				t.Errorf("%s: %s", base, m)
+			}
+		}
+	}
+}
+
+// TestProbeOutputDomainFlagsUnsortedErrnos feeds the probe a synthetic spec
+// whose errno universe is out of order and expects the ordering invariant to
+// fire.
+func TestProbeOutputDomainFlagsUnsortedErrnos(t *testing.T) {
+	spec := &sysspec.Spec{
+		Base:     "fake",
+		Variants: []string{"fake"},
+		Ret:      sysspec.RetZero,
+		Errnos:   []sys.Errno{sys.EIO, sys.EACCES},
+	}
+	msgs := ProbeOutputDomain(spec)
+	want := fmt.Sprintf("errno label %q out of order", "EACCES")
+	for _, m := range msgs {
+		if strings.Contains(m, want) {
+			return
+		}
+	}
+	t.Fatalf("no probe message contains %q; have:\n%s", want, strings.Join(msgs, "\n"))
+}

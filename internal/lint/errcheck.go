@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is a lightweight dropped-error detector over internal/ and cmd/:
+// it flags expression statements whose call returns an error that nothing
+// consumes. An explicit `_ =` assignment is treated as an acknowledged drop
+// and not flagged, as are the fmt print family (whose error returns are
+// conventionally ignored) and writers that document infallible writes
+// (strings.Builder, bytes.Buffer).
+type ErrCheck struct {
+	// Paths are the import-path prefixes to analyze.
+	Paths []string
+}
+
+// NewErrCheck returns the pass configured for this repository.
+func NewErrCheck() *ErrCheck {
+	return &ErrCheck{Paths: []string{"iocov/internal", "iocov/cmd"}}
+}
+
+// Name implements Pass.
+func (e *ErrCheck) Name() string { return "errcheck" }
+
+// Run implements Pass.
+func (e *ErrCheck) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		if !matchesAny(pkg.Path, e.Paths) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pkg, call) || allowedDrop(pkg, call) {
+					return true
+				}
+				out = append(out, Finding{
+					Pass: e.Name(),
+					Pos:  t.Position(call.Pos()),
+					Message: fmt.Sprintf("error return of %s is silently dropped",
+						types.ExprString(call.Fun)),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch res := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < res.Len(); i++ {
+			if types.Identical(res.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(res, errType)
+	}
+}
+
+// infallibleWriters are receiver types whose Write methods document a
+// always-nil error.
+var infallibleWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// allowedDrop reports whether the dropped error is conventionally ignored.
+func allowedDrop(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg().Path() == "fmt"
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	return infallibleWriters[types.TypeString(recv, nil)]
+}

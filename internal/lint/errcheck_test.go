@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestErrCheckBadFixture: the fixture drops one error (f.Close()) amid the
+// documented allowances (fmt printers, strings.Builder writes, explicit
+// blank assignment), so exactly one finding must come back.
+func TestErrCheckBadFixture(t *testing.T) {
+	ec := &ErrCheck{Paths: []string{"errcheck_bad"}}
+	findings := ec.Run(fixtureTarget(t, "errcheck_bad"))
+	if len(findings) != 1 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want exactly 1", len(findings))
+	}
+	f := requireFinding(t, findings, "error return of f.Close is silently dropped")
+	if wantLine := fixtureLine(t, "errcheck_bad/bad.go", "f.Close()"); f.Pos.Line != wantLine {
+		t.Errorf("finding at line %d, want %d", f.Pos.Line, wantLine)
+	}
+}
+
+// TestErrCheckGoodFixture: every error handled, no findings.
+func TestErrCheckGoodFixture(t *testing.T) {
+	ec := &ErrCheck{Paths: []string{"errcheck_good"}}
+	for _, f := range ec.Run(fixtureTarget(t, "errcheck_good")) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

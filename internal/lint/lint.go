@@ -1,0 +1,127 @@
+// Package lint is iocov's self-checking static-analysis suite. It proves,
+// by construction rather than by review, the invariants the coverage
+// pipeline silently depends on:
+//
+//   - domaincheck: every partition label a scheme's Partitions() can emit is
+//     declared by its Domain(), domains are duplicate-free, and numeric and
+//     output domains are canonically ordered (the pre-PR-1 BytesScheme bug
+//     class, caught mechanically);
+//   - speccheck: the sysspec base/extended tables are internally consistent
+//     and every syscall the kernel dispatch emits has a spec entry;
+//   - shardcheck: worker-path packages (internal/harness, internal/suites)
+//     contain no writes to package-level state and no wall-clock or global
+//     RNG calls, either of which would break the byte-identical
+//     RunParallel-vs-Run snapshot contract;
+//   - errcheck: no error return is silently dropped in internal/ or cmd/.
+//
+// The suite is built only on the standard library's go/parser, go/ast,
+// go/token and go/types packages; repository packages are type-checked
+// against a source importer, so passes reason about resolved objects and
+// folded constants, not token spellings. Passes are hybrid where a purely
+// static proof is impossible: domaincheck and speccheck also probe the live
+// partition and sysspec registries exhaustively (see ProbeScheme and
+// ProbeOutputDomain).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	// Pass is the producing pass's name.
+	Pass string
+	// Pos locates the offending source, when the pass can attribute one
+	// (registry probes on compiled-in values may not have a position).
+	Pos token.Position
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	if f.Pos.Filename == "" {
+		return fmt.Sprintf("[%s] %s", f.Pass, f.Message)
+	}
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Pass, f.Message)
+}
+
+// Pass is one analysis over a loaded target.
+type Pass interface {
+	// Name identifies the pass in findings and CLI -passes selection.
+	Name() string
+	// Run analyzes the target and returns its findings.
+	Run(t *Target) []Finding
+}
+
+// AllPasses returns the full suite in canonical order, configured for this
+// repository's layout.
+func AllPasses() []Pass {
+	return []Pass{
+		NewDomainCheck(),
+		NewSpecCheck(),
+		NewShardCheck(),
+		NewErrCheck(),
+	}
+}
+
+// PassNames returns the names of the full suite in canonical order.
+func PassNames() []string {
+	var names []string
+	for _, p := range AllPasses() {
+		names = append(names, p.Name())
+	}
+	return names
+}
+
+// SelectPasses resolves a comma-separated pass list ("" means all).
+func SelectPasses(spec string) ([]Pass, error) {
+	all := AllPasses()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]Pass, len(all))
+	for _, p := range all {
+		byName[p.Name()] = p
+	}
+	var out []Pass
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown pass %q (have %s)",
+				name, strings.Join(PassNames(), ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunAll runs the given passes over the target and returns the combined
+// findings sorted by position then message, for deterministic output.
+func RunAll(t *Target, passes []Pass) []Finding {
+	var out []Finding
+	for _, p := range passes {
+		out = append(out, p.Run(t)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ShardCheck guards the byte-identical RunParallel-vs-Run snapshot contract.
+// Worker-path packages (internal/harness and the suites it shards) must be
+// deterministic functions of (suite, scale, seed, shard): the pass flags
+//
+//   - writes to package-level variables (shared mutable state across shards
+//     merges nondeterministically);
+//   - calls to wall-clock time functions (time.Now / Since / Until);
+//   - calls to the global math/rand source, whose state is shared across
+//     goroutines (per-item rand.New(rand.NewSource(seed)) instances are the
+//     sanctioned pattern and are not flagged).
+type ShardCheck struct {
+	// Paths are the import-path prefixes of worker-path packages.
+	Paths []string
+}
+
+// NewShardCheck returns the pass configured for this repository.
+func NewShardCheck() *ShardCheck {
+	return &ShardCheck{Paths: []string{"iocov/internal/harness", "iocov/internal/suites"}}
+}
+
+// Name implements Pass.
+func (s *ShardCheck) Name() string { return "shardcheck" }
+
+// timeDenied are the wall-clock functions in package time.
+var timeDenied = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randAllowed are the math/rand package-level functions that only construct
+// independent generators and never touch the shared global source.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Run implements Pass.
+func (s *ShardCheck) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		if !matchesAny(pkg.Path, s.Paths) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						out = append(out, s.checkWrite(t, pkg, lhs)...)
+					}
+				case *ast.IncDecStmt:
+					out = append(out, s.checkWrite(t, pkg, st.X)...)
+				case *ast.CallExpr:
+					out = append(out, s.checkCall(t, pkg, st)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkWrite flags an assignment target rooted in a package-level variable.
+func (s *ShardCheck) checkWrite(t *Target, pkg *Package, expr ast.Expr) []Finding {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			// pkgname.Var writes resolve through the selector itself; field
+			// selectors resolve through the receiver expression instead.
+			if v := packageLevelVar(pkg, e.Sel); v != nil {
+				return s.writeFinding(t, pkg, e.Sel, v)
+			}
+			expr = e.X
+		case *ast.Ident:
+			if v := packageLevelVar(pkg, e); v != nil {
+				return s.writeFinding(t, pkg, e, v)
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (s *ShardCheck) writeFinding(t *Target, pkg *Package, at *ast.Ident, v *types.Var) []Finding {
+	return []Finding{{
+		Pass: s.Name(),
+		Pos:  t.Position(at.Pos()),
+		Message: fmt.Sprintf(
+			"worker path writes package-level variable %q; shared state breaks the parallel-vs-serial snapshot contract",
+			v.Name()),
+	}}
+}
+
+// packageLevelVar resolves an identifier to a package-scoped variable, or
+// nil when it names anything else.
+func packageLevelVar(pkg *Package, ident *ast.Ident) *types.Var {
+	obj := pkg.Info.Uses[ident]
+	if obj == nil {
+		obj = pkg.Info.Defs[ident]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// checkCall flags wall-clock and global-RNG calls.
+func (s *ShardCheck) checkCall(t *Target, pkg *Package, call *ast.CallExpr) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil // methods (e.g. (*rand.Rand).Intn) are per-instance state
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if timeDenied[fn.Name()] {
+			return []Finding{{
+				Pass: s.Name(),
+				Pos:  t.Position(call.Pos()),
+				Message: fmt.Sprintf(
+					"worker path calls time.%s; wall-clock input breaks shard determinism", fn.Name()),
+			}}
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			return []Finding{{
+				Pass: s.Name(),
+				Pos:  t.Position(call.Pos()),
+				Message: fmt.Sprintf(
+					"worker path calls the global %s.%s; shared RNG state breaks shard determinism",
+					fn.Pkg().Name(), fn.Name()),
+			}}
+		}
+	}
+	return nil
+}

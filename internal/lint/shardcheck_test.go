@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardCheckBadFixture covers every violation class the pass detects:
+// package-level writes (both a counter increment and a map store), a
+// wall-clock read, and a global-RNG call.
+func TestShardCheckBadFixture(t *testing.T) {
+	sc := &ShardCheck{Paths: []string{"shardcheck_bad"}}
+	findings := sc.Run(fixtureTarget(t, "shardcheck_bad"))
+	if len(findings) != 4 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want 4", len(findings))
+	}
+	counter := requireFinding(t, findings, `writes package-level variable "counter"`)
+	if wantLine := fixtureLine(t, "shardcheck_bad/bad.go", "counter++"); counter.Pos.Line != wantLine {
+		t.Errorf("counter finding at line %d, want %d", counter.Pos.Line, wantLine)
+	}
+	requireFinding(t, findings, `writes package-level variable "cache"`)
+	requireFinding(t, findings, "calls time.Now")
+	requireFinding(t, findings, "calls the global rand.Int63")
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "bad.go") {
+			t.Errorf("finding without fixture position: %s", f)
+		}
+	}
+}
+
+// TestShardCheckGoodFixture: read-only package state and per-item seeded
+// generators are the sanctioned pattern and must not be flagged.
+func TestShardCheckGoodFixture(t *testing.T) {
+	sc := &ShardCheck{Paths: []string{"shardcheck_good"}}
+	for _, f := range sc.Run(fixtureTarget(t, "shardcheck_good")) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

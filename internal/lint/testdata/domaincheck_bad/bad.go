@@ -1,0 +1,52 @@
+// Package domaincheck_bad reproduces the pre-PR-1 BytesScheme.Domain bug
+// verbatim: Partitions routes negative values to the "<0" label, but
+// Domain() never declares it, so coverage reports computed against the
+// domain silently lose the negative partition.
+package domaincheck_bad
+
+import "fmt"
+
+const (
+	labelZero     = "=0"
+	labelNegative = "<0"
+)
+
+const maxLog2 = 62
+
+func log2Label(k int) string { return fmt.Sprintf("2^%d", k) }
+
+func log2Bucket(v int64) int {
+	k := 0
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// BytesScheme is the buggy pre-PR-1 shape.
+type BytesScheme struct{}
+
+func (BytesScheme) Scheme() string { return "bytes" }
+
+func (BytesScheme) Partitions(v int64) []string {
+	switch {
+	case v < 0:
+		return []string{labelNegative}
+	case v == 0:
+		return []string{labelZero}
+	default:
+		return []string{log2Label(log2Bucket(v))}
+	}
+}
+
+// Domain is missing labelNegative: the exact bug PR 1 fixed by hand and
+// domaincheck now flags mechanically.
+func (BytesScheme) Domain() []string {
+	out := make([]string, 0, maxLog2+2)
+	out = append(out, labelZero)
+	for k := 0; k <= maxLog2; k++ {
+		out = append(out, log2Label(k))
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package domaincheck_good is the fixed twin of domaincheck_bad: every
+// label Partitions can emit is declared by Domain, so domaincheck must stay
+// silent.
+package domaincheck_good
+
+import "fmt"
+
+const (
+	labelZero     = "=0"
+	labelNegative = "<0"
+)
+
+const maxLog2 = 62
+
+func log2Label(k int) string { return fmt.Sprintf("2^%d", k) }
+
+func log2Bucket(v int64) int {
+	k := 0
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// BytesScheme is the post-PR-1 shape with a complete domain.
+type BytesScheme struct{}
+
+func (BytesScheme) Scheme() string { return "bytes" }
+
+func (BytesScheme) Partitions(v int64) []string {
+	switch {
+	case v < 0:
+		return []string{labelNegative}
+	case v == 0:
+		return []string{labelZero}
+	default:
+		return []string{log2Label(log2Bucket(v))}
+	}
+}
+
+func (BytesScheme) Domain() []string {
+	out := make([]string, 0, maxLog2+3)
+	out = append(out, labelNegative, labelZero)
+	for k := 0; k <= maxLog2; k++ {
+		out = append(out, log2Label(k))
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package errcheck_bad drops an error return on the floor, which
+// errcheck flags; the surrounding calls exercise the documented allowances
+// (fmt printers, infallible writers, explicit blank assignment).
+package errcheck_bad
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drop(f *os.File) {
+	f.Close() // the one finding: an error silently dropped
+	fmt.Println("done")
+	var b strings.Builder
+	b.WriteString("x")
+	_ = f.Sync()
+}

@@ -1,0 +1,16 @@
+// Package errcheck_good handles every error return, so errcheck must stay
+// silent.
+package errcheck_good
+
+import "os"
+
+func clean(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package shardcheck_bad violates the shard-determinism contract in every
+// way shardcheck detects: package-level writes, wall-clock reads, and the
+// shared global RNG.
+package shardcheck_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+var counter int64
+
+var cache = map[string]int{}
+
+func work(shard int) int64 {
+	counter++
+	cache["last"] = shard
+	started := time.Now().UnixNano()
+	return counter + started + rand.Int63()
+}

@@ -1,0 +1,18 @@
+// Package shardcheck_good is deterministic per shard: read-only package
+// tables, seed-derived per-item generators, and no wall clock — the pattern
+// the worker paths must follow.
+package shardcheck_good
+
+import "math/rand"
+
+// weights is package-level but only ever read.
+var weights = []int{3, 2, 1}
+
+func work(seed int64, shard int) int64 {
+	rng := rand.New(rand.NewSource(seed + int64(shard)))
+	total := int64(0)
+	for _, w := range weights {
+		total += rng.Int63n(int64(w) + 1)
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"iocov/internal/sys"
+	"iocov/internal/sysspec"
+)
+
+// domainProbeValues is the dynamic twin of iocovlint's exhaustive probe set:
+// numeric boundaries, every power of two with neighbours, every named flag
+// and mode bit with access-mode combinations, and the categorical whence and
+// xattr values (plus out-of-range neighbours).
+func domainProbeValues() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	add := func(vs ...int64) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	add(math.MinInt64, math.MaxInt64, -12345, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7)
+	for k := 0; k <= MaxLog2; k++ {
+		v := int64(1) << k
+		add(v-1, v, v+1)
+	}
+	for _, f := range sys.OpenFlagNames {
+		add(int64(f.Bit))
+		add(int64(f.Bit | sys.O_WRONLY))
+		add(int64(f.Bit | sys.O_RDWR))
+		add(int64(f.Bit | sys.O_ACCMODE))
+	}
+	for _, b := range sys.ModeBitNames {
+		add(int64(b.Bit))
+	}
+	add(int64(sys.PermMask), 0o7777, 0o170000)
+	add(int64(sys.XATTR_CREATE), int64(sys.XATTR_REPLACE))
+	for w := int64(-1); w < int64(len(sys.WhenceNames))+2; w++ {
+		add(w)
+	}
+	return out
+}
+
+// trackedSchemes enumerates every scheme name either sysspec table declares.
+func trackedSchemes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, tbl := range []*sysspec.Table{sysspec.NewTable(), sysspec.NewExtendedTable()} {
+		for _, base := range tbl.Bases() {
+			for _, arg := range tbl.Spec(base).TrackedArgs() {
+				if !seen[arg.Scheme] {
+					seen[arg.Scheme] = true
+					out = append(out, arg.Scheme)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestEverySchemeDomainInvariants asserts, for every registered scheme, that
+// Domain() is non-empty and duplicate-free and that Partitions() stays inside
+// it over the probe set — the dynamic twin of iocovlint's domaincheck.
+func TestEverySchemeDomainInvariants(t *testing.T) {
+	probes := domainProbeValues()
+	checked := 0
+	for _, name := range trackedSchemes() {
+		in := ForScheme(name)
+		if in == nil {
+			continue // identifier schemes are deliberately unpartitioned
+		}
+		checked++
+		domain := in.Domain()
+		if len(domain) == 0 {
+			t.Errorf("scheme %q: empty domain", name)
+			continue
+		}
+		set := make(map[string]bool, len(domain))
+		for _, lbl := range domain {
+			if set[lbl] {
+				t.Errorf("scheme %q: domain repeats %q", name, lbl)
+			}
+			set[lbl] = true
+		}
+		for _, v := range probes {
+			for _, lbl := range in.Partitions(v) {
+				if !set[lbl] {
+					t.Errorf("scheme %q: Partitions(%d) emits %q outside Domain()", name, v, lbl)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no partitioned schemes found in the sysspec tables")
+	}
+}
+
+// TestOutputDomainCoversOutput asserts, for every base spec in both tables,
+// that OutputDomain is duplicate-free and closed over Output for every
+// RetKind: success returns across the probe set and every declared errno in
+// both return conventions (negative-return and zero-return).
+func TestOutputDomainCoversOutput(t *testing.T) {
+	probes := domainProbeValues()
+	for _, tbl := range []*sysspec.Table{sysspec.NewTable(), sysspec.NewExtendedTable()} {
+		for _, base := range tbl.Bases() {
+			spec := tbl.Spec(base)
+			domain := OutputDomain(spec)
+			set := make(map[string]bool, len(domain))
+			for _, lbl := range domain {
+				if set[lbl] {
+					t.Errorf("%s: OutputDomain repeats %q", base, lbl)
+				}
+				set[lbl] = true
+			}
+			check := func(ret int64, err sys.Errno) {
+				if lbl := Output(spec.Ret, ret, err); !set[lbl] {
+					t.Errorf("%s: Output(ret=%d, err=%s) = %q outside OutputDomain()",
+						base, ret, err.Name(), lbl)
+				}
+			}
+			for _, v := range probes {
+				check(v, sys.OK)
+			}
+			for _, e := range spec.Errnos {
+				check(-int64(e), e)
+				check(0, e)
+			}
+		}
+	}
+}

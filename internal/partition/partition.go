@@ -24,9 +24,11 @@ import (
 	"iocov/internal/sysspec"
 )
 
-// MaxLog2 is the largest power-of-two bucket tracked for numeric values
-// (2^63 covers the whole non-negative int64 range).
-const MaxLog2 = 63
+// MaxLog2 is the largest power-of-two bucket reachable for numeric values:
+// the largest positive int64, 2^63-1, rounds down to bucket 2^62. (The
+// domain used to end at an unreachable 2^63 bucket; iocovlint's domaincheck
+// completeness probe flags such dead entries.)
+const MaxLog2 = 62
 
 // Labels for the boundary partitions of numeric schemes.
 const (
@@ -157,11 +159,14 @@ func (openFlagsScheme) Partitions(v int64) []string {
 }
 
 func (openFlagsScheme) Domain() []string {
-	out := make([]string, 0, len(sys.OpenFlagNames))
+	out := make([]string, 0, len(sys.OpenFlagNames)+1)
 	for _, f := range sys.OpenFlagNames {
 		out = append(out, f.Name)
 	}
-	return out
+	// DecodeOpenFlags emits this label for a flags word whose access-mode
+	// bits are the invalid 0b11 combination; the domain must declare it like
+	// any other reachable label (found by iocovlint's domaincheck probe).
+	return append(out, sys.AccModeInvalidName)
 }
 
 // modeBitsScheme partitions a mode argument per permission bit; a zero mode

@@ -123,9 +123,14 @@ func TestOpenFlagsScheme(t *testing.T) {
 	if !reflect.DeepEqual(got, []string{"O_WRONLY", "O_DSYNC"}) {
 		t.Errorf("O_DSYNC decode = %v", got)
 	}
-	// Figure 2's x-axis: 20 flags.
-	if len(s.Domain()) != 20 {
-		t.Errorf("open flags domain = %d, want 20", len(s.Domain()))
+	// Figure 2's x-axis: 20 flags, plus the invalid-access-mode label.
+	if len(s.Domain()) != 21 {
+		t.Errorf("open flags domain = %d, want 21", len(s.Domain()))
+	}
+	// The invalid access mode 0b11 partitions to a declared label.
+	got = s.Partitions(int64(sys.O_ACCMODE))
+	if !reflect.DeepEqual(got, []string{sys.AccModeInvalidName}) {
+		t.Errorf("invalid accmode = %v", got)
 	}
 }
 

@@ -65,6 +65,10 @@ var OpenFlagNames = []struct {
 	{"O_TMPFILE", O_TMPFILE},
 }
 
+// AccModeInvalidName is the partition label DecodeOpenFlags reports for a
+// flags word whose access-mode bits are the reserved 0b11 combination.
+const AccModeInvalidName = "O_ACCMODE_INVALID"
+
 // DecodeOpenFlags splits a flags word into the named flags it contains.
 // The access mode contributes exactly one name (O_RDONLY, O_WRONLY or
 // O_RDWR). O_SYNC subsumes O_DSYNC and O_TMPFILE subsumes O_DIRECTORY, so a
@@ -79,7 +83,7 @@ func DecodeOpenFlags(flags int) []string {
 	case O_RDWR:
 		names = append(names, "O_RDWR")
 	default:
-		names = append(names, "O_ACCMODE_INVALID")
+		names = append(names, AccModeInvalidName)
 	}
 	type bitName struct {
 		bit  int

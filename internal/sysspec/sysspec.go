@@ -131,7 +131,10 @@ var specs = []Spec{
 		Base:     "open",
 		Variants: []string{"open", "openat", "creat", "openat2"},
 		Args: []ArgSpec{
-			{Name: "flags", Key: "flags", Class: Bitmap, Scheme: SchemeOpenFlags},
+			// creat(2) takes no flags argument at the syscall boundary (its
+			// O_CREAT|O_WRONLY|O_TRUNC is implied), so the tracked flags
+			// argument is restricted to the variants that carry one.
+			{Name: "flags", Key: "flags", Class: Bitmap, Scheme: SchemeOpenFlags, Variants: []string{"open", "openat", "openat2"}},
 			{Name: "mode", Key: "mode", Class: Bitmap, Scheme: SchemeModeBits},
 			{Name: "filename", Key: "filename", Class: Identifier, Scheme: SchemePath},
 		},
