@@ -8,11 +8,15 @@
 #   make lint     - iocovlint: domaincheck, speccheck, shardcheck, errcheck
 #                   over the whole repository (exit 1 on any finding)
 #   make bench    - serial-vs-parallel suite benchmarks
+#   make bench-json - full benchmark suite, parsed to BENCH_$(LABEL).json
+#                   (ns/op, B/op, allocs/op per benchmark) for the perf
+#                   trajectory across PRs
 #   make figures  - regenerate the paper's evaluation figures
 
 GO ?= go
+LABEL ?= dev
 
-.PHONY: verify race vet lint bench figures
+.PHONY: verify race vet lint bench bench-json figures
 
 verify:
 	$(GO) build ./...
@@ -31,6 +35,10 @@ lint:
 
 bench:
 	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .
+
+bench-json:
+	$(GO) test -run xxx -bench . -benchtime 2x -benchmem . \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_$(LABEL).json
 
 figures:
 	$(GO) run ./cmd/figures

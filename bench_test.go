@@ -206,11 +206,14 @@ func BenchmarkAblationTraceFilter(b *testing.B) {
 	mixed := make([]trace.Event, 0, len(events)*2)
 	for _, ev := range events {
 		mixed = append(mixed, ev)
-		noise := ev
-		noise.Path = "/var/log/other"
-		if noise.Strs != nil {
-			noise.Strs = map[string]string{"filename": noise.Path}
+		// Rebuild the event rather than copy it so every string argument
+		// (inline or spilled) points outside the mount.
+		noise := trace.Event{
+			Seq: ev.Seq, PID: ev.PID, Name: ev.Name,
+			Path: "/var/log/other", Ret: ev.Ret, Err: ev.Err,
 		}
+		ev.EachArg(noise.AddArg)
+		ev.EachStr(func(k, _ string) { noise.AddStr(k, noise.Path) })
 		mixed = append(mixed, noise)
 	}
 	b.ResetTimer()

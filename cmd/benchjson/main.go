@@ -1,0 +1,50 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// committed-friendly JSON file, giving the repo a benchmark trajectory
+// across PRs:
+//
+//	go test -run xxx -bench . -benchmem . | benchjson -label pr3 -o BENCH_pr3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"iocov/internal/benchparse"
+)
+
+func main() {
+	label := flag.String("label", "dev", "run label recorded in the JSON")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	run, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(run.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	run.Label = *label
+
+	enc, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

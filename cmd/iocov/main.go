@@ -19,6 +19,10 @@
 //
 //	iocov tcd -suite NAME [-target N] [-syscall S] [-arg A]
 //	    Print the Test Coverage Deviation against a uniform target.
+//
+// Profiling flags precede the subcommand and wrap its whole execution:
+//
+//	iocov -cpuprofile cpu.prof -memprofile mem.prof run -suite xfstests
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"iocov"
 	"iocov/internal/coverage"
@@ -42,40 +47,84 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// The profile writers rely on defers, which os.Exit would skip.
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	global := flag.NewFlagSet("iocov", flag.ExitOnError)
+	global.Usage = func() { usage() }
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile of the subcommand to this file")
+	memprofile := global.String("memprofile", "", "write a heap profile taken after the subcommand to this file")
+	// Parse stops at the first non-flag argument: the subcommand.
+	if err := global.Parse(os.Args[1:]); err != nil || global.NArg() < 1 {
 		usage()
 	}
+	args := global.Args()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iocov:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "iocov:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:])
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+		err = cmdAnalyze(args[1:])
 	case "untested":
-		err = cmdUntested(os.Args[2:])
+		err = cmdUntested(args[1:])
 	case "tcd":
-		err = cmdTCD(os.Args[2:])
+		err = cmdTCD(args[1:])
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(args[1:])
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		err = cmdDiff(args[1:])
 	case "suggest":
-		err = cmdSuggest(os.Args[2:])
+		err = cmdSuggest(args[1:])
 	case "convert":
-		err = cmdConvert(os.Args[2:])
+		err = cmdConvert(args[1:])
 	case "spec":
-		err = cmdSpec(os.Args[2:])
+		err = cmdSpec(args[1:])
 	default:
 		usage()
 	}
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "iocov:", ferr)
+			return 1
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, "iocov:", perr)
+			return 1
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "iocov:", cerr)
+			return 1
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iocov:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: iocov run|analyze|untested|tcd|compare|diff|suggest|convert|spec [flags]")
+	fmt.Fprintln(os.Stderr, "usage: iocov [-cpuprofile FILE] [-memprofile FILE] run|analyze|untested|tcd|compare|diff|suggest|convert|spec [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,124 @@
+// Package benchparse parses `go test -bench` output into structured
+// results so benchmark runs can be committed as JSON and compared across
+// PRs. It understands the standard benchmark line format plus the context
+// lines (goos/goarch/pkg/cpu) the testing package prints, and nothing
+// else — stdlib only, by design.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -N procs suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the -benchmem B/op figure (0 when absent).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the -benchmem allocs/op figure (0 when absent).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// MBPerSec is the throughput figure when the benchmark reports one.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds custom b.ReportMetric units, e.g. "coverage-spaces".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Run is a parsed benchmark session: machine context plus results.
+type Run struct {
+	Label   string   `json:"label"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the session, with
+// results sorted by name. Lines that are neither context nor benchmark
+// lines (PASS, ok, test log output) are ignored.
+func Parse(r io.Reader) (Run, error) {
+	var run Run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return run, err
+			}
+			if ok {
+				run.Results = append(run.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return run, err
+	}
+	sort.Slice(run.Results, func(i, j int) bool {
+		return run.Results[i].Name < run.Results[j].Name
+	})
+	return run, nil
+}
+
+// parseLine parses one "BenchmarkName  N  value unit  value unit..." line.
+// ok is false for lines that start with Benchmark but aren't result lines
+// (e.g. a benchmark name echoed on its own while running).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false, nil
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		case "MB/s":
+			res.MBPerSec = v
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
+	}
+	return res, true, nil
+}

@@ -1,0 +1,66 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: iocov
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnalyzerThroughput 	       2	    720678 ns/op	  10.12 MB/s	   47736 B/op	     402 allocs/op
+BenchmarkKernelSyscalls-8    	       2	      3640 ns/op	    4616 B/op	       6 allocs/op
+BenchmarkSuiteCoverage/merged	       2	     15216 ns/op	       3.0 coverage-spaces
+PASS
+ok  	iocov	0.069s
+`
+
+func TestParse(t *testing.T) {
+	run, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || run.Pkg != "iocov" {
+		t.Fatalf("context = %+v", run)
+	}
+	if !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", run.CPU)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	// Sorted by name.
+	at := run.Results[0]
+	if at.Name != "BenchmarkAnalyzerThroughput" || at.NsPerOp != 720678 ||
+		at.BytesPerOp != 47736 || at.AllocsPerOp != 402 || at.MBPerSec != 10.12 {
+		t.Fatalf("analyzer result = %+v", at)
+	}
+	// The -8 procs suffix is stripped.
+	ks := run.Results[1]
+	if ks.Name != "BenchmarkKernelSyscalls" || ks.Iterations != 2 || ks.AllocsPerOp != 6 {
+		t.Fatalf("kernel result = %+v", ks)
+	}
+	// Custom ReportMetric units land in Extra.
+	sc := run.Results[2]
+	if sc.Extra["coverage-spaces"] != 3.0 {
+		t.Fatalf("suite result = %+v", sc)
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX 2 zzz ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value not rejected")
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	run, err := Parse(strings.NewReader("BenchmarkRunning\nBenchmarkAlso notanumber\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 0 {
+		t.Fatalf("phantom results: %+v", run.Results)
+	}
+}

@@ -1,0 +1,52 @@
+package coverage
+
+import (
+	"testing"
+
+	"iocov/internal/raceflag"
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+)
+
+// TestAddSteadyStateAllocs pins the compiled hot path: once a syscall name
+// has been seen and its counters exist, Add must not allocate. This is the
+// zero-allocation property the dense partition indices buy.
+func TestAddSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	an := NewAnalyzer(DefaultOptions())
+
+	open := trace.Event{Seq: 1, PID: 1, Name: "openat", Path: "/mnt/test/f", Ret: 3}
+	open.AddStr("filename", "/mnt/test/f")
+	open.AddArg("flags", int64(sys.O_RDWR|sys.O_CREAT|sys.O_TRUNC))
+	open.AddArg("mode", 0o644)
+
+	write := trace.Event{Seq: 2, PID: 1, Name: "write", Ret: 4096}
+	write.AddArg("fd", 3)
+	write.AddArg("count", 4096)
+
+	fail := trace.Event{Seq: 3, PID: 1, Name: "read", Ret: -int64(sys.EBADF), Err: sys.EBADF}
+	fail.AddArg("fd", 99)
+	fail.AddArg("count", 16)
+
+	skip := trace.Event{Seq: 4, PID: 1, Name: "getpid"}
+
+	// Warm the compiled entries, counters, and scratch buffer.
+	for i := 0; i < 4; i++ {
+		an.Add(open)
+		an.Add(write)
+		an.Add(fail)
+		an.Add(skip)
+	}
+
+	n := testing.AllocsPerRun(200, func() {
+		an.Add(open)
+		an.Add(write)
+		an.Add(fail)
+		an.Add(skip)
+	})
+	if n != 0 {
+		t.Fatalf("steady-state Add allocates %.1f times per 4 events, want 0", n)
+	}
+}

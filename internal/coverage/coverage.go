@@ -59,8 +59,34 @@ type Analyzer struct {
 	combos    ComboStats
 	bitCombos map[argKey]map[string]int64
 
+	// compiled caches, per raw syscall name, everything Add needs on the
+	// steady-state path: the resolved spec, the argument counters that apply
+	// to this variant, and the output counter. A nil entry marks an
+	// out-of-scope name so repeat offenders cost one map hit. scratch is the
+	// reused ordinal buffer handed to partition.Indexer.
+	compiled map[string]*compiledEntry
+	scratch  []int
+
 	analyzed int64
 	skipped  int64
+}
+
+// compiledEntry is the per-raw-name dispatch record built on first sight.
+type compiledEntry struct {
+	name   string // merged name (or the raw name when merging is disabled)
+	spec   *sysspec.Spec
+	args   []compiledArg
+	idents []*sysspec.ArgSpec
+	out    *OutputCounter
+	isOpen bool
+}
+
+// compiledArg pairs a pre-resolved counter with its event key.
+type compiledArg struct {
+	counter  *ArgCounter
+	key      string
+	combo    bool // TrackCombinations && bitmap class
+	comboKey argKey
 }
 
 type argKey struct {
@@ -78,20 +104,35 @@ type ArgCounter struct {
 	Class sysspec.ArgClass
 	// Scheme names the partitioning scheme.
 	Scheme string
-	// Counts maps partition label to observed frequency.
+	// Counts maps partition label to observed frequency. It is a lazily
+	// materialized view over the dense ordinal counters, rebuilt by the
+	// Analyzer.Input accessor (and by Count) after new events arrive; the
+	// hot path itself never touches it.
 	Counts map[string]int64
 
-	part partition.Input
+	part   partition.Input
+	idx    partition.Indexer
+	labels []string // Domain(), cached once
+	dense  []int64  // per-ordinal frequencies, indexed like labels
+	dirty  bool     // dense changed since Counts was last materialized
 }
 
 // OutputCounter holds per-partition output frequencies for one syscall.
 type OutputCounter struct {
 	// Syscall is the (merged) syscall name.
 	Syscall string
-	// Counts maps output partition label to frequency.
+	// Counts maps output partition label to frequency. Like
+	// ArgCounter.Counts it is a lazily materialized view (see
+	// Analyzer.Output).
 	Counts map[string]int64
 
-	spec *sysspec.Spec
+	spec  *sysspec.Spec
+	out   *partition.OutputIndexer
+	dense []int64
+	// extra counts errnos outside the spec's documented universe, which
+	// have no ordinal; reports surface them in their Extra section.
+	extra map[string]int64
+	dirty bool
 }
 
 // identCounter tracks distinct identifier values (future-work extension).
@@ -131,6 +172,10 @@ func NewAnalyzer(opts Options) *Analyzer {
 		idents:    make(map[argKey]*identCounter),
 		combos:    ComboStats{All: make(map[int]int64), Rdonly: make(map[int]int64)},
 		bitCombos: make(map[argKey]map[string]int64),
+		compiled:  make(map[string]*compiledEntry),
+		// Largest per-value ordinal fanout is an open flags word naming
+		// every flag; 32 keeps PartitionIndices from ever growing it.
+		scratch: make([]int, 0, 32),
 	}
 }
 
@@ -139,45 +184,48 @@ func (a *Analyzer) Emit(ev trace.Event) { a.Add(ev) }
 
 // Add analyzes one event. Events for syscalls outside the 27-syscall scope
 // are counted as skipped and otherwise ignored.
+//
+// The steady-state path is one compiled-entry map hit followed by dense
+// ordinal arithmetic: no label formatting, no []string partitions, no
+// string-keyed counter maps. The first event of each raw syscall name pays
+// the spec lookup and ArgAppliesTo walk once, in compile.
 func (a *Analyzer) Add(ev trace.Event) {
-	spec := a.table.Base(ev.Name)
-	if spec == nil {
+	e, seen := a.compiled[ev.Name]
+	if !seen {
+		e = a.compile(ev.Name)
+	}
+	if e == nil {
 		a.skipped++
 		return
 	}
 	a.analyzed++
-	name := spec.Base
-	if !a.opts.MergeVariants {
-		name = ev.Name
-	}
 
-	for i := range spec.Args {
-		arg := &spec.Args[i]
-		if !arg.ArgAppliesTo(ev.Name) {
-			continue
-		}
-		if arg.Class == sysspec.Identifier {
-			if a.opts.TrackIdentifiers {
-				a.addIdentifier(name, arg, ev)
-			}
-			continue
-		}
-		v, ok := ev.Arg(arg.Key)
+	for i := range e.args {
+		ca := &e.args[i]
+		v, ok := ev.Arg(ca.key)
 		if !ok {
 			continue
 		}
-		c := a.argCounter(name, arg)
-		labels := c.part.Partitions(v)
-		for _, label := range labels {
-			c.Counts[label]++
+		c := ca.counter
+		idxs := c.idx.PartitionIndices(v, a.scratch[:0])
+		a.scratch = idxs
+		for _, ord := range idxs {
+			c.dense[ord]++
 		}
-		if a.opts.TrackCombinations && arg.Class == sysspec.Bitmap {
-			a.addCombination(argKey{name, arg.Name}, labels)
+		c.dirty = true
+		if ca.combo {
+			a.addCombination(ca.comboKey, c.labels, idxs)
+		}
+	}
+
+	if len(e.idents) > 0 {
+		for _, arg := range e.idents {
+			a.addIdentifier(e.name, arg, ev)
 		}
 	}
 
 	// Flag-combination statistics for the open family.
-	if spec.Base == "open" {
+	if e.isOpen {
 		if flags, ok := ev.Arg("flags"); ok {
 			k := partition.FlagComboSize(flags)
 			a.combos.All[k]++
@@ -187,12 +235,54 @@ func (a *Analyzer) Add(ev trace.Event) {
 		}
 	}
 
-	oc := a.outputs[name]
-	if oc == nil {
-		oc = &OutputCounter{Syscall: name, Counts: make(map[string]int64), spec: spec}
-		a.outputs[name] = oc
+	oc := e.out
+	if ord, ok := oc.out.Index(ev.Ret, ev.Err); ok {
+		oc.dense[ord]++
+	} else {
+		// Errno outside the documented universe: no ordinal, count by label
+		// (ends up in the report's Extra section, as before).
+		if oc.extra == nil {
+			oc.extra = make(map[string]int64)
+		}
+		oc.extra[ev.Err.Name()]++
 	}
-	oc.Counts[partition.Output(spec.Ret, ev.Ret, ev.Err)]++
+	oc.dirty = true
+}
+
+// compile resolves everything Add needs for one raw syscall name and caches
+// it. Out-of-scope names cache a nil entry.
+func (a *Analyzer) compile(raw string) *compiledEntry {
+	spec := a.table.Base(raw)
+	if spec == nil {
+		a.compiled[raw] = nil
+		return nil
+	}
+	name := spec.Base
+	if !a.opts.MergeVariants {
+		name = raw
+	}
+	e := &compiledEntry{name: name, spec: spec, isOpen: spec.Base == "open"}
+	for i := range spec.Args {
+		arg := &spec.Args[i]
+		if !arg.ArgAppliesTo(raw) {
+			continue
+		}
+		if arg.Class == sysspec.Identifier {
+			if a.opts.TrackIdentifiers {
+				e.idents = append(e.idents, arg)
+			}
+			continue
+		}
+		e.args = append(e.args, compiledArg{
+			counter:  a.argCounter(name, arg),
+			key:      arg.Key,
+			combo:    a.opts.TrackCombinations && arg.Class == sysspec.Bitmap,
+			comboKey: argKey{name, arg.Name},
+		})
+	}
+	e.out = a.outputCounter(name, spec)
+	a.compiled[raw] = e
+	return e
 }
 
 // AddAll analyzes a slice of events.
@@ -206,17 +296,72 @@ func (a *Analyzer) argCounter(name string, arg *sysspec.ArgSpec) *ArgCounter {
 	k := argKey{name, arg.Name}
 	c := a.inputs[k]
 	if c == nil {
+		idx := partition.IndexerForScheme(arg.Scheme)
+		labels := idx.Domain()
 		c = &ArgCounter{
 			Syscall: name,
 			Arg:     arg.Name,
 			Class:   arg.Class,
 			Scheme:  arg.Scheme,
-			Counts:  make(map[string]int64),
-			part:    partition.ForScheme(arg.Scheme),
+			part:    idx,
+			idx:     idx,
+			labels:  labels,
+			dense:   make([]int64, len(labels)),
 		}
 		a.inputs[k] = c
 	}
 	return c
+}
+
+// outputCounter returns (creating on demand) the output counter for name.
+func (a *Analyzer) outputCounter(name string, spec *sysspec.Spec) *OutputCounter {
+	oc := a.outputs[name]
+	if oc == nil {
+		out := partition.NewOutputIndexer(spec)
+		oc = &OutputCounter{
+			Syscall: name,
+			spec:    spec,
+			out:     out,
+			dense:   make([]int64, len(out.Domain())),
+		}
+		a.outputs[name] = oc
+	}
+	return oc
+}
+
+// materialize rebuilds the public Counts view from the dense counters when
+// new events have arrived since the last build. Only labels with non-zero
+// counts appear, matching the map the per-event path used to maintain.
+func (c *ArgCounter) materialize() {
+	if !c.dirty && c.Counts != nil {
+		return
+	}
+	m := make(map[string]int64)
+	for ord, n := range c.dense {
+		if n != 0 {
+			m[c.labels[ord]] = n
+		}
+	}
+	c.Counts = m
+	c.dirty = false
+}
+
+func (c *OutputCounter) materialize() {
+	if !c.dirty && c.Counts != nil {
+		return
+	}
+	domain := c.out.Domain()
+	m := make(map[string]int64)
+	for ord, n := range c.dense {
+		if n != 0 {
+			m[domain[ord]] = n
+		}
+	}
+	for label, n := range c.extra {
+		m[label] += n
+	}
+	c.Counts = m
+	c.dirty = false
 }
 
 func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Event) {
@@ -246,14 +391,22 @@ func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Eve
 
 // addCombination counts a full bitmap combination as its own partition
 // (future-work metric: bit combinations). The label is the joined flag
-// names, e.g. "O_RDWR|O_CREAT|O_TRUNC".
-func (a *Analyzer) addCombination(k argKey, labels []string) {
+// names in partition order, e.g. "O_RDWR|O_CREAT|O_TRUNC", rebuilt here
+// from the ordinals the hot path produced.
+func (a *Analyzer) addCombination(k argKey, labels []string, idxs []int) {
 	m := a.bitCombos[k]
 	if m == nil {
 		m = make(map[string]int64)
 		a.bitCombos[k] = m
 	}
-	label := strings.Join(labels, "|")
+	var b strings.Builder
+	for i, ord := range idxs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(labels[ord])
+	}
+	label := b.String()
 	if _, seen := m[label]; !seen && len(m) >= a.opts.CombinationCap {
 		return
 	}
@@ -324,55 +477,71 @@ func (a *Analyzer) Syscalls() []string {
 }
 
 // Input returns the counter for one argument, or nil when nothing was
-// recorded for it.
+// recorded for it. The returned counter's Counts view reflects every event
+// added so far.
 func (a *Analyzer) Input(syscall, arg string) *ArgCounter {
-	return a.inputs[argKey{syscall, arg}]
+	c := a.inputs[argKey{syscall, arg}]
+	if c != nil {
+		c.materialize()
+	}
+	return c
 }
 
-// Output returns the output counter for a syscall, or nil.
+// Output returns the output counter for a syscall, or nil. The returned
+// counter's Counts view reflects every event added so far.
 func (a *Analyzer) Output(syscall string) *OutputCounter {
-	return a.outputs[syscall]
+	c := a.outputs[syscall]
+	if c != nil {
+		c.materialize()
+	}
+	return c
 }
 
 // Count returns the frequency of one input partition (0 when untested).
-func (c *ArgCounter) Count(label string) int64 { return c.Counts[label] }
+func (c *ArgCounter) Count(label string) int64 {
+	c.materialize()
+	return c.Counts[label]
+}
 
 // Domain returns the argument's full partition domain.
-func (c *ArgCounter) Domain() []string { return c.part.Domain() }
+func (c *ArgCounter) Domain() []string { return c.labels }
 
 // Total returns the sum of all partition counts.
 func (c *ArgCounter) Total() int64 {
 	var t int64
-	for _, n := range c.Counts {
+	for _, n := range c.dense {
 		t += n
 	}
 	return t
 }
 
 // Count returns the frequency of one output partition.
-func (c *OutputCounter) Count(label string) int64 { return c.Counts[label] }
+func (c *OutputCounter) Count(label string) int64 {
+	c.materialize()
+	return c.Counts[label]
+}
 
 // Domain returns the syscall's full output partition domain.
-func (c *OutputCounter) Domain() []string { return partition.OutputDomain(c.spec) }
+func (c *OutputCounter) Domain() []string { return c.out.Domain() }
 
 // SuccessCount sums the success partitions.
 func (c *OutputCounter) SuccessCount() int64 {
 	var t int64
-	for label, n := range c.Counts {
-		if partition.IsSuccess(label) {
-			t += n
-		}
+	for _, n := range c.dense[:c.out.SuccessOrdinals()] {
+		t += n
 	}
 	return t
 }
 
-// ErrorCount sums the failure partitions.
+// ErrorCount sums the failure partitions. Extra (undocumented) errnos are
+// failures by construction: every success partition has an ordinal.
 func (c *OutputCounter) ErrorCount() int64 {
 	var t int64
-	for label, n := range c.Counts {
-		if !partition.IsSuccess(label) {
-			t += n
-		}
+	for _, n := range c.dense[c.out.SuccessOrdinals():] {
+		t += n
+	}
+	for _, n := range c.extra {
+		t += n
 	}
 	return t
 }

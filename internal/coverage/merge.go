@@ -46,25 +46,36 @@ func (a *Analyzer) Merge(b *Analyzer) error {
 				Arg:     bc.Arg,
 				Class:   bc.Class,
 				Scheme:  bc.Scheme,
-				Counts:  make(map[string]int64, len(bc.Counts)),
 				part:    bc.part,
+				idx:     bc.idx,
+				labels:  bc.labels,
+				dense:   make([]int64, len(bc.dense)),
 			}
 			a.inputs[k] = ac
 		}
-		for label, n := range bc.Counts {
-			ac.Counts[label] += n
+		for ord, n := range bc.dense {
+			ac.dense[ord] += n
 		}
+		ac.dirty = true
 	}
 
 	for name, bc := range b.outputs {
 		ac := a.outputs[name]
 		if ac == nil {
-			ac = &OutputCounter{Syscall: bc.Syscall, Counts: make(map[string]int64, len(bc.Counts)), spec: bc.spec}
+			ac = &OutputCounter{Syscall: bc.Syscall, spec: bc.spec, out: bc.out,
+				dense: make([]int64, len(bc.dense))}
 			a.outputs[name] = ac
 		}
-		for label, n := range bc.Counts {
-			ac.Counts[label] += n
+		for ord, n := range bc.dense {
+			ac.dense[ord] += n
 		}
+		for label, n := range bc.extra {
+			if ac.extra == nil {
+				ac.extra = make(map[string]int64, len(bc.extra))
+			}
+			ac.extra[label] += n
+		}
+		ac.dirty = true
 	}
 
 	for k, bn := range b.combos.All {

@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"testing"
+
+	"iocov/internal/raceflag"
+	"iocov/internal/sys"
+	"iocov/internal/trace"
+	"iocov/internal/vfs"
+)
+
+// TestSyscallCycleAllocs bounds the allocation cost of a traced
+// open/write/close cycle. Event emission itself is allocation-free (pair
+// slices stay on the emitting frame, inline Event storage avoids maps);
+// the budget below covers kernel bookkeeping (descriptor table, VFS), not
+// tracing.
+func TestSyscallCycleAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	sink := &trace.CountingSink{}
+	k := New(vfs.New(vfs.DefaultConfig()), Options{Sink: sink})
+	p := k.NewProc(ProcOptions{})
+	buf := []byte("0123456789abcdef")
+
+	cycle := func() {
+		fd, err := p.Open("/f", sys.O_RDWR|sys.O_CREAT, 0o644)
+		if err != sys.OK {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := p.Write(fd, buf); err != sys.OK {
+			t.Fatalf("write: %v", err)
+		}
+		if err := p.Close(fd); err != sys.OK {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	// Warm up: create the file and let the fd table and VFS extents settle.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+
+	// Measured at 2 (the open path's *file box and descriptor install);
+	// anything above means tracing started allocating again.
+	const budget = 2.0
+	if n := testing.AllocsPerRun(200, cycle); n > budget {
+		t.Fatalf("open/write/close cycle allocates %.1f times, budget %.0f", n, budget)
+	}
+	if sink.N == 0 {
+		t.Fatal("no events traced")
+	}
+}

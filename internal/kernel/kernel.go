@@ -194,24 +194,42 @@ func (p *Proc) lookupFD(fd int) (*file, sys.Errno) {
 	return f, sys.OK
 }
 
+// ekv and eskv are the emit-site argument pairs. Emit sites pass small
+// slice literals; because emit never retains them, escape analysis keeps
+// the pair slices on the caller's stack and a traced syscall allocates
+// nothing for its event.
+type ekv struct {
+	name string
+	val  int64
+}
+
+type eskv struct {
+	name, val string
+}
+
 // emit sends one completed-syscall event to the kernel's sink.
-func (p *Proc) emit(name, path string, strs map[string]string, args map[string]int64, ret int64, err sys.Errno) {
+func (p *Proc) emit(name, path string, strs []eskv, args []ekv, ret int64, err sys.Errno) {
 	if p.k.sink == nil {
 		return
 	}
 	if err != sys.OK {
 		ret = -int64(err)
 	}
-	p.k.sink.Emit(trace.Event{
+	ev := trace.Event{
 		Seq:  p.k.seq.Add(1),
 		PID:  p.pid,
 		Name: name,
 		Path: path,
-		Strs: strs,
-		Args: args,
 		Ret:  ret,
 		Err:  err,
-	})
+	}
+	for _, s := range strs {
+		ev.AddStr(s.name, s.val)
+	}
+	for _, a := range args {
+		ev.AddArg(a.name, a.val)
+	}
+	p.k.sink.Emit(ev)
 }
 
 // retFD converts an (fd, errno) pair to the traced return value.

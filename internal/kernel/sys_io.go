@@ -42,7 +42,7 @@ func (p *Proc) writableFD(fd int) (*file, sys.Errno) {
 func (p *Proc) Read(fd int, buf []byte) (int, sys.Errno) {
 	n, err := p.readInner("read", fd, buf, -1)
 	p.emit("read", "", nil,
-		map[string]int64{"fd": int64(fd), "count": int64(len(buf))},
+		[]ekv{{"fd", int64(fd)}, {"count", int64(len(buf))}},
 		int64(n), err)
 	return n, err
 }
@@ -51,7 +51,7 @@ func (p *Proc) Read(fd int, buf []byte) (int, sys.Errno) {
 func (p *Proc) Pread64(fd int, buf []byte, off int64) (int, sys.Errno) {
 	n, err := p.readInner("pread64", fd, buf, off)
 	p.emit("pread64", "", nil,
-		map[string]int64{"fd": int64(fd), "count": int64(len(buf)), "pos": off},
+		[]ekv{{"fd", int64(fd)}, {"count", int64(len(buf))}, {"pos", off}},
 		int64(n), err)
 	return n, err
 }
@@ -66,7 +66,7 @@ func (p *Proc) Readv(fd int, iovs [][]byte) (int, sys.Errno) {
 	}
 	n, err := p.readvInner(fd, iovs)
 	p.emit("readv", "", nil,
-		map[string]int64{"fd": int64(fd), "vlen": int64(len(iovs)), "count": int64(total)},
+		[]ekv{{"fd", int64(fd)}, {"vlen", int64(len(iovs))}, {"count", int64(total)}},
 		int64(n), err)
 	return n, err
 }
@@ -137,7 +137,7 @@ func (p *Proc) readvInner(fd int, iovs [][]byte) (int, sys.Errno) {
 func (p *Proc) Write(fd int, buf []byte) (int, sys.Errno) {
 	n, err := p.writeInner("write", fd, buf, -1)
 	p.emit("write", "", nil,
-		map[string]int64{"fd": int64(fd), "count": int64(len(buf))},
+		[]ekv{{"fd", int64(fd)}, {"count", int64(len(buf))}},
 		int64(n), err)
 	return n, err
 }
@@ -146,7 +146,7 @@ func (p *Proc) Write(fd int, buf []byte) (int, sys.Errno) {
 func (p *Proc) Pwrite64(fd int, buf []byte, off int64) (int, sys.Errno) {
 	n, err := p.writeInner("pwrite64", fd, buf, off)
 	p.emit("pwrite64", "", nil,
-		map[string]int64{"fd": int64(fd), "count": int64(len(buf)), "pos": off},
+		[]ekv{{"fd", int64(fd)}, {"count", int64(len(buf))}, {"pos", off}},
 		int64(n), err)
 	return n, err
 }
@@ -159,7 +159,7 @@ func (p *Proc) Writev(fd int, iovs [][]byte) (int, sys.Errno) {
 	}
 	n, err := p.writevInner(fd, iovs)
 	p.emit("writev", "", nil,
-		map[string]int64{"fd": int64(fd), "vlen": int64(len(iovs)), "count": int64(total)},
+		[]ekv{{"fd", int64(fd)}, {"vlen", int64(len(iovs))}, {"count", int64(total)}},
 		int64(n), err)
 	return n, err
 }
@@ -229,7 +229,7 @@ func (p *Proc) writevInner(fd int, iovs [][]byte) (int, sys.Errno) {
 func (p *Proc) Lseek(fd int, offset int64, whence int) (int64, sys.Errno) {
 	pos, err := p.lseekInner(fd, offset, whence)
 	p.emit("lseek", "", nil,
-		map[string]int64{"fd": int64(fd), "offset": offset, "whence": int64(whence)},
+		[]ekv{{"fd", int64(fd)}, {"offset", offset}, {"whence", int64(whence)}},
 		pos, err)
 	return pos, err
 }
@@ -277,7 +277,7 @@ func (p *Proc) lseekInner(fd int, offset int64, whence int) (int64, sys.Errno) {
 func (p *Proc) Ftruncate(fd int, length int64) sys.Errno {
 	err := p.ftruncateInner(fd, length)
 	p.emit("ftruncate", "", nil,
-		map[string]int64{"fd": int64(fd), "length": length}, 0, err)
+		[]ekv{{"fd", int64(fd)}, {"length", length}}, 0, err)
 	return err
 }
 
@@ -301,8 +301,8 @@ func (p *Proc) ftruncateInner(fd int, length int64) sys.Errno {
 func (p *Proc) Truncate(path string, length int64) sys.Errno {
 	err := p.truncateInner(path, length)
 	p.emit("truncate", path,
-		map[string]string{"path": path},
-		map[string]int64{"length": length}, 0, err)
+		[]eskv{{"path", path}},
+		[]ekv{{"length", length}}, 0, err)
 	return err
 }
 
@@ -317,7 +317,7 @@ func (p *Proc) truncateInner(path string, length int64) sys.Errno {
 func (p *Proc) Fallocate(fd int, mode int, offset, length int64) sys.Errno {
 	err := p.fallocateInner(fd, mode, offset, length)
 	p.emit("fallocate", "", nil,
-		map[string]int64{"fd": int64(fd), "mode": int64(mode), "offset": offset, "len": length},
+		[]ekv{{"fd", int64(fd)}, {"mode", int64(mode)}, {"offset", offset}, {"len", length}},
 		0, err)
 	return err
 }

@@ -9,8 +9,8 @@ import (
 func (p *Proc) Mkdir(path string, mode uint32) sys.Errno {
 	err := p.mkdirInner("mkdir", p.cwd, path, mode)
 	p.emit("mkdir", path,
-		map[string]string{"pathname": path},
-		map[string]int64{"mode": int64(mode)}, 0, err)
+		[]eskv{{"pathname", path}},
+		[]ekv{{"mode", int64(mode)}}, 0, err)
 	return err
 }
 
@@ -22,8 +22,8 @@ func (p *Proc) Mkdirat(dirfd int, path string, mode uint32) sys.Errno {
 		err = p.mkdirInner("mkdirat", base, path, mode)
 	}
 	p.emit("mkdirat", path,
-		map[string]string{"pathname": path},
-		map[string]int64{"dfd": int64(dirfd), "mode": int64(mode)}, 0, err)
+		[]eskv{{"pathname", path}},
+		[]ekv{{"dfd", int64(dirfd)}, {"mode", int64(mode)}}, 0, err)
 	return err
 }
 
@@ -38,8 +38,8 @@ func (p *Proc) mkdirInner(name string, base *vfs.Inode, path string, mode uint32
 func (p *Proc) Chmod(path string, mode uint32) sys.Errno {
 	err := p.chmodInner("chmod", p.cwd, path, mode)
 	p.emit("chmod", path,
-		map[string]string{"filename": path},
-		map[string]int64{"mode": int64(mode)}, 0, err)
+		[]eskv{{"filename", path}},
+		[]ekv{{"mode", int64(mode)}}, 0, err)
 	return err
 }
 
@@ -47,7 +47,7 @@ func (p *Proc) Chmod(path string, mode uint32) sys.Errno {
 func (p *Proc) Fchmod(fd int, mode uint32) sys.Errno {
 	err := p.fchmodInner(fd, mode)
 	p.emit("fchmod", "", nil,
-		map[string]int64{"fd": int64(fd), "mode": int64(mode)}, 0, err)
+		[]ekv{{"fd", int64(fd)}, {"mode", int64(mode)}}, 0, err)
 	return err
 }
 
@@ -70,8 +70,8 @@ func (p *Proc) fchmodInner(fd int, mode uint32) sys.Errno {
 func (p *Proc) Fchmodat(dirfd int, path string, mode uint32, flags int) sys.Errno {
 	err := p.fchmodatInner(dirfd, path, mode, flags)
 	p.emit("fchmodat", path,
-		map[string]string{"filename": path},
-		map[string]int64{"dfd": int64(dirfd), "mode": int64(mode), "flags": int64(flags)}, 0, err)
+		[]eskv{{"filename", path}},
+		[]ekv{{"dfd", int64(dirfd)}, {"mode", int64(mode)}, {"flags", int64(flags)}}, 0, err)
 	return err
 }
 
@@ -117,7 +117,7 @@ func (p *Proc) Unlink(path string) sys.Errno {
 	} else {
 		err = p.k.fs.Unlink(p.cwd, p.cred, path)
 	}
-	p.emit("unlink", path, map[string]string{"pathname": path}, nil, 0, err)
+	p.emit("unlink", path, []eskv{{"pathname", path}}, nil, 0, err)
 	return err
 }
 
@@ -129,7 +129,7 @@ func (p *Proc) Rmdir(path string) sys.Errno {
 	} else {
 		err = p.k.fs.Rmdir(p.cwd, p.cred, path)
 	}
-	p.emit("rmdir", path, map[string]string{"pathname": path}, nil, 0, err)
+	p.emit("rmdir", path, []eskv{{"pathname", path}}, nil, 0, err)
 	return err
 }
 
@@ -142,7 +142,7 @@ func (p *Proc) Rename(oldpath, newpath string) sys.Errno {
 		err = p.k.fs.Rename(p.cwd, p.cred, oldpath, newpath)
 	}
 	p.emit("rename", oldpath,
-		map[string]string{"oldname": oldpath, "newname": newpath}, nil, 0, err)
+		[]eskv{{"oldname", oldpath}, {"newname", newpath}}, nil, 0, err)
 	return err
 }
 
@@ -155,7 +155,7 @@ func (p *Proc) Symlink(target, linkpath string) sys.Errno {
 		err = p.k.fs.Symlink(p.cwd, p.cred, target, linkpath)
 	}
 	p.emit("symlink", linkpath,
-		map[string]string{"oldname": target, "newname": linkpath}, nil, 0, err)
+		[]eskv{{"oldname", target}, {"newname", linkpath}}, nil, 0, err)
 	return err
 }
 
@@ -168,7 +168,7 @@ func (p *Proc) Link(oldpath, newpath string) sys.Errno {
 		err = p.k.fs.Link(p.cwd, p.cred, oldpath, newpath)
 	}
 	p.emit("link", oldpath,
-		map[string]string{"oldname": oldpath, "newname": newpath}, nil, 0, err)
+		[]eskv{{"oldname", oldpath}, {"newname", newpath}}, nil, 0, err)
 	return err
 }
 
@@ -181,7 +181,7 @@ func (p *Proc) Fsync(fd int) sys.Errno {
 	} else if _, e := p.lookupFD(fd); e != sys.OK {
 		err = e
 	}
-	p.emit("fsync", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	p.emit("fsync", "", nil, []ekv{{"fd", int64(fd)}}, 0, err)
 	return err
 }
 
@@ -193,7 +193,7 @@ func (p *Proc) Fdatasync(fd int) sys.Errno {
 	} else if _, e := p.lookupFD(fd); e != sys.OK {
 		err = e
 	}
-	p.emit("fdatasync", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	p.emit("fdatasync", "", nil, []ekv{{"fd", int64(fd)}}, 0, err)
 	return err
 }
 
@@ -215,7 +215,7 @@ func (p *Proc) Stat(path string) (vfs.Stat, sys.Errno) {
 	} else {
 		st, err = p.k.fs.Lookup(p.cwd, p.cred, path)
 	}
-	p.emit("stat", path, map[string]string{"filename": path}, nil, 0, err)
+	p.emit("stat", path, []eskv{{"filename", path}}, nil, 0, err)
 	return st, err
 }
 
@@ -243,7 +243,7 @@ func (p *Proc) Statfs(path string) (StatfsBuf, sys.Errno) {
 			Bfree:  p.k.fs.FreeBytes() / cfg.BlockSize,
 		}
 	}
-	p.emit("statfs", path, map[string]string{"pathname": path}, nil, 0, err)
+	p.emit("statfs", path, []eskv{{"pathname", path}}, nil, 0, err)
 	return buf, err
 }
 
@@ -256,6 +256,6 @@ func (p *Proc) Lstat(path string) (vfs.Stat, sys.Errno) {
 	} else {
 		st, err = p.k.fs.LookupNoFollow(p.cwd, p.cred, path)
 	}
-	p.emit("lstat", path, map[string]string{"filename": path}, nil, 0, err)
+	p.emit("lstat", path, []eskv{{"filename", path}}, nil, 0, err)
 	return st, err
 }

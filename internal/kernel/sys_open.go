@@ -29,8 +29,8 @@ func (p *Proc) Openat(dirfd int, path string, flags int, mode uint32) (int, sys.
 func (p *Proc) Creat(path string, mode uint32) (int, sys.Errno) {
 	fd, err := p.openInner(sys.AT_FDCWD, path, sys.O_CREAT|sys.O_WRONLY|sys.O_TRUNC, mode, 0, "creat")
 	p.emit("creat", path,
-		map[string]string{"pathname": path},
-		map[string]int64{"mode": int64(mode)},
+		[]eskv{{"pathname", path}},
+		[]ekv{{"mode", int64(mode)}},
 		retFD(fd, err), err)
 	return fd, err
 }
@@ -47,12 +47,12 @@ type OpenHow struct {
 func (p *Proc) Openat2(dirfd int, path string, how OpenHow) (int, sys.Errno) {
 	fd, err := p.openat2Inner(dirfd, path, how)
 	p.emit("openat2", path,
-		map[string]string{"filename": path},
-		map[string]int64{
-			"dfd":     int64(dirfd),
-			"flags":   int64(how.Flags),
-			"mode":    int64(how.Mode),
-			"resolve": int64(how.Resolve),
+		[]eskv{{"filename", path}},
+		[]ekv{
+			{"dfd", int64(dirfd)},
+			{"flags", int64(how.Flags)},
+			{"mode", int64(how.Mode)},
+			{"resolve", int64(how.Resolve)},
 		},
 		retFD(fd, err), err)
 	return fd, err
@@ -88,11 +88,15 @@ func (p *Proc) openat2Inner(dirfd int, path string, how OpenHow) (int, sys.Errno
 // openCommon runs the open path and emits the variant's trace event.
 func (p *Proc) openCommon(name string, dirfd int, path string, flags int, mode uint32, resolve int) (int, sys.Errno) {
 	fd, err := p.openInner(dirfd, path, flags, mode, resolve, name)
-	args := map[string]int64{"flags": int64(flags), "mode": int64(mode)}
+	// args stays a built-up variable (not a literal) on purpose: this one
+	// emit site serves both "open" and "openat", whose key sets differ, so
+	// the speccheck linter must not pin a single literal key set to it.
+	args := make([]ekv, 0, 3)
+	args = append(args, ekv{"flags", int64(flags)}, ekv{"mode", int64(mode)})
 	if name == "openat" {
-		args["dfd"] = int64(dirfd)
+		args = append(args, ekv{"dfd", int64(dirfd)})
 	}
-	p.emit(name, path, map[string]string{"filename": path}, args, retFD(fd, err), err)
+	p.emit(name, path, []eskv{{"filename", path}}, args, retFD(fd, err), err)
 	return fd, err
 }
 
@@ -206,7 +210,7 @@ func itoa(n int) string {
 // Close is close(2).
 func (p *Proc) Close(fd int) sys.Errno {
 	err := p.closeInner(fd)
-	p.emit("close", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	p.emit("close", "", nil, []ekv{{"fd", int64(fd)}}, 0, err)
 	return err
 }
 
@@ -229,7 +233,7 @@ func (p *Proc) closeInner(fd int) sys.Errno {
 // on Linux.
 func (p *Proc) Dup(fd int) (int, sys.Errno) {
 	nfd, err := p.dupInner(fd, -1)
-	p.emit("dup", "", nil, map[string]int64{"fildes": int64(fd)}, retFD(nfd, err), err)
+	p.emit("dup", "", nil, []ekv{{"fildes", int64(fd)}}, retFD(nfd, err), err)
 	return nfd, err
 }
 
@@ -238,7 +242,7 @@ func (p *Proc) Dup(fd int) (int, sys.Errno) {
 func (p *Proc) Dup2(fd, newfd int) (int, sys.Errno) {
 	nfd, err := p.dup2Inner(fd, newfd)
 	p.emit("dup2", "", nil,
-		map[string]int64{"oldfd": int64(fd), "newfd": int64(newfd)}, retFD(nfd, err), err)
+		[]ekv{{"oldfd", int64(fd)}, {"newfd", int64(newfd)}}, retFD(nfd, err), err)
 	return nfd, err
 }
 
@@ -288,7 +292,7 @@ func (p *Proc) dup2Inner(fd, newfd int) (int, sys.Errno) {
 // Chdir is chdir(2).
 func (p *Proc) Chdir(path string) sys.Errno {
 	err := p.chdirInner(path)
-	p.emit("chdir", path, map[string]string{"filename": path}, nil, 0, err)
+	p.emit("chdir", path, []eskv{{"filename", path}}, nil, 0, err)
 	return err
 }
 
@@ -310,7 +314,7 @@ func (p *Proc) chdirInner(path string) sys.Errno {
 // Fchdir is fchdir(2).
 func (p *Proc) Fchdir(fd int) sys.Errno {
 	err := p.fchdirInner(fd)
-	p.emit("fchdir", "", nil, map[string]int64{"fd": int64(fd)}, 0, err)
+	p.emit("fchdir", "", nil, []ekv{{"fd", int64(fd)}}, 0, err)
 	return err
 }
 

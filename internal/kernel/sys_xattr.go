@@ -14,8 +14,8 @@ func (p *Proc) Setxattr(path, name string, value []byte, flags int) sys.Errno {
 		err = p.k.fs.Setxattr(p.cwd, p.cred, path, name, value, flags)
 	}
 	p.emit("setxattr", path,
-		map[string]string{"pathname": path, "name": name},
-		map[string]int64{"size": int64(len(value)), "flags": int64(flags)}, 0, err)
+		[]eskv{{"pathname", path}, {"name", name}},
+		[]ekv{{"size", int64(len(value))}, {"flags", int64(flags)}}, 0, err)
 	return err
 }
 
@@ -28,8 +28,8 @@ func (p *Proc) Lsetxattr(path, name string, value []byte, flags int) sys.Errno {
 		err = p.k.fs.SetxattrNoFollow(p.cwd, p.cred, path, name, value, flags)
 	}
 	p.emit("lsetxattr", path,
-		map[string]string{"pathname": path, "name": name},
-		map[string]int64{"size": int64(len(value)), "flags": int64(flags)}, 0, err)
+		[]eskv{{"pathname", path}, {"name", name}},
+		[]ekv{{"size", int64(len(value))}, {"flags", int64(flags)}}, 0, err)
 	return err
 }
 
@@ -46,8 +46,8 @@ func (p *Proc) Fsetxattr(fd int, name string, value []byte, flags int) sys.Errno
 		err = p.k.fs.SetxattrInode(p.cred, f.ino, name, value, flags)
 	}
 	p.emit("fsetxattr", "",
-		map[string]string{"name": name},
-		map[string]int64{"fd": int64(fd), "size": int64(len(value)), "flags": int64(flags)}, 0, err)
+		[]eskv{{"name", name}},
+		[]ekv{{"fd", int64(fd)}, {"size", int64(len(value))}, {"flags", int64(flags)}}, 0, err)
 	return err
 }
 
@@ -61,8 +61,8 @@ func (p *Proc) Getxattr(path, name string, buf []byte) (int, sys.Errno) {
 		n, err = p.k.fs.Getxattr(p.cwd, p.cred, path, name, buf)
 	}
 	p.emit("getxattr", path,
-		map[string]string{"pathname": path, "name": name},
-		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+		[]eskv{{"pathname", path}, {"name", name}},
+		[]ekv{{"size", int64(len(buf))}}, int64(n), err)
 	return n, err
 }
 
@@ -76,8 +76,8 @@ func (p *Proc) Lgetxattr(path, name string, buf []byte) (int, sys.Errno) {
 		n, err = p.k.fs.GetxattrNoFollow(p.cwd, p.cred, path, name, buf)
 	}
 	p.emit("lgetxattr", path,
-		map[string]string{"pathname": path, "name": name},
-		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+		[]eskv{{"pathname", path}, {"name", name}},
+		[]ekv{{"size", int64(len(buf))}}, int64(n), err)
 	return n, err
 }
 
@@ -97,8 +97,8 @@ func (p *Proc) Listxattr(path string, buf []byte) (int, sys.Errno) {
 		}
 	}
 	p.emit("listxattr", path,
-		map[string]string{"pathname": path},
-		map[string]int64{"size": int64(len(buf))}, int64(n), err)
+		[]eskv{{"pathname", path}},
+		[]ekv{{"size", int64(len(buf))}}, int64(n), err)
 	return n, err
 }
 
@@ -132,7 +132,7 @@ func (p *Proc) Removexattr(path, name string) sys.Errno {
 		err = p.k.fs.Removexattr(p.cwd, p.cred, path, name)
 	}
 	p.emit("removexattr", path,
-		map[string]string{"pathname": path, "name": name}, nil, 0, err)
+		[]eskv{{"pathname", path}, {"name", name}}, nil, 0, err)
 	return err
 }
 
@@ -149,8 +149,8 @@ func (p *Proc) Fremovexattr(fd int, name string) sys.Errno {
 		err = p.k.fs.RemovexattrInode(p.cred, f.ino, name)
 	}
 	p.emit("fremovexattr", "",
-		map[string]string{"name": name},
-		map[string]int64{"fd": int64(fd)}, 0, err)
+		[]eskv{{"name", name}},
+		[]ekv{{"fd", int64(fd)}}, 0, err)
 	return err
 }
 
@@ -168,7 +168,7 @@ func (p *Proc) Fgetxattr(fd int, name string, buf []byte) (int, sys.Errno) {
 		n, err = p.k.fs.GetxattrInode(p.cred, f.ino, name, buf)
 	}
 	p.emit("fgetxattr", "",
-		map[string]string{"name": name},
-		map[string]int64{"fd": int64(fd), "size": int64(len(buf))}, int64(n), err)
+		[]eskv{{"name", name}},
+		[]ekv{{"fd", int64(fd)}, {"size", int64(len(buf))}}, int64(n), err)
 	return n, err
 }

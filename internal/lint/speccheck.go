@@ -337,8 +337,12 @@ func (s *SpecCheck) collectEmitSites(t *Target) []emitSite {
 	return sites
 }
 
-// literalMapKeys extracts the constant keys of a map composite literal at
-// args[index], returning nil when the expression is absent or not a literal.
+// literalMapKeys extracts the constant argument keys of the composite
+// literal at args[index], returning nil when the expression is absent or
+// not a literal. Two emit-site shapes are understood: map literals
+// (map[string]int64{"fd": ...}) and pair-slice literals
+// ([]ekv{{"fd", ...}}), whose elements are positional composite literals
+// with the key as the first field.
 func literalMapKeys(pkg *Package, args []ast.Expr, index int) map[string]bool {
 	if index >= len(args) {
 		return nil
@@ -349,11 +353,19 @@ func literalMapKeys(pkg *Package, args []ast.Expr, index int) map[string]bool {
 	}
 	keys := make(map[string]bool, len(lit.Elts))
 	for _, elt := range lit.Elts {
-		kv, ok := elt.(*ast.KeyValueExpr)
-		if !ok {
+		var keyExpr ast.Expr
+		switch e := elt.(type) {
+		case *ast.KeyValueExpr:
+			keyExpr = e.Key
+		case *ast.CompositeLit:
+			if len(e.Elts) == 0 {
+				return nil
+			}
+			keyExpr = e.Elts[0]
+		default:
 			return nil
 		}
-		k, ok := constString(pkg, kv.Key)
+		k, ok := constString(pkg, keyExpr)
 		if !ok {
 			return nil
 		}

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iocov/internal/sys"
+	"iocov/internal/sysspec"
+)
+
+// indexProbeValues is an aggressive probe corpus: every boundary the schemes
+// care about, every flag bit alone and in bulk, plus random words.
+func indexProbeValues() []int64 {
+	vals := []int64{-(1 << 62), -4096, -2, -1, 0, 1, 2, 3, 4, 5, 7, 8, 100,
+		1023, 1024, 1025, 1 << 20, 1<<62 - 1, 1 << 62, 1<<63 - 1}
+	for _, f := range sys.OpenFlagNames {
+		vals = append(vals, int64(f.Bit))
+		vals = append(vals, int64(f.Bit|sys.O_RDWR))
+		vals = append(vals, int64(f.Bit|sys.O_ACCMODE))
+	}
+	for _, b := range sys.ModeBitNames {
+		vals = append(vals, int64(b.Bit))
+	}
+	vals = append(vals, int64(sys.O_SYNC), int64(sys.O_DSYNC),
+		int64(sys.O_TMPFILE), int64(sys.O_DIRECTORY),
+		int64(sys.O_SYNC|sys.O_TMPFILE|sys.O_RDWR), 0o777, 0o7777)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, int64(rng.Uint64()>>1), -int64(rng.Uint64()>>1),
+			int64(rng.Intn(1<<24)))
+	}
+	return vals
+}
+
+// TestPartitionIndicesAgreeWithLabels is the dense-index twin invariant:
+// for every scheme and every probe value, mapping PartitionIndices through
+// Domain() must reproduce Partitions exactly — same partitions, same order.
+func TestPartitionIndicesAgreeWithLabels(t *testing.T) {
+	schemes := []string{
+		sysspec.SchemeOpenFlags, sysspec.SchemeModeBits, sysspec.SchemeBytes,
+		sysspec.SchemeOffset, sysspec.SchemeWhence, sysspec.SchemeXattrFlags,
+	}
+	vals := indexProbeValues()
+	var scratch []int
+	for _, scheme := range schemes {
+		ix := IndexerForScheme(scheme)
+		if ix == nil {
+			t.Fatalf("scheme %q has no Indexer", scheme)
+		}
+		domain := ix.Domain()
+		for _, v := range vals {
+			scratch = ix.PartitionIndices(v, scratch[:0])
+			got := make([]string, len(scratch))
+			for i, ord := range scratch {
+				if ord < 0 || ord >= len(domain) {
+					t.Fatalf("%s: value %d: ordinal %d outside domain of %d",
+						scheme, v, ord, len(domain))
+				}
+				got[i] = domain[ord]
+			}
+			want := ix.Partitions(v)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: value %d: indices map to %v, Partitions = %v",
+					scheme, v, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexerForSchemeIdentifier confirms identifier schemes stay
+// unpartitioned in the ordinal API too.
+func TestIndexerForSchemeIdentifier(t *testing.T) {
+	if ix := IndexerForScheme(sysspec.SchemePath); ix != nil {
+		t.Errorf("identifier scheme got an indexer: %v", ix)
+	}
+}
+
+// TestOutputIndexerAgreesWithOutput checks the compiled output domain against
+// the label path for every spec in the extended table, over all documented
+// errnos, undocumented errnos, and return-value boundaries.
+func TestOutputIndexerAgreesWithOutput(t *testing.T) {
+	tbl := sysspec.NewExtendedTable()
+	rets := []int64{-5, -1, 0, 1, 2, 1023, 1024, 1 << 30, 1<<62 - 1, 1<<63 - 1}
+	for _, base := range tbl.Bases() {
+		spec := tbl.Spec(base)
+		x := NewOutputIndexer(spec)
+		if !reflect.DeepEqual(x.Domain(), OutputDomain(spec)) {
+			t.Fatalf("%s: compiled domain differs from OutputDomain", base)
+		}
+		domain := x.Domain()
+		// Success outcomes.
+		for _, ret := range rets {
+			idx, ok := x.Index(ret, sys.OK)
+			if !ok {
+				t.Fatalf("%s: success ret %d not indexable", base, ret)
+			}
+			if want := Output(spec.Ret, ret, sys.OK); domain[idx] != want {
+				t.Fatalf("%s: ret %d: index %d = %q, Output = %q",
+					base, ret, idx, domain[idx], want)
+			}
+		}
+		// Documented errnos.
+		for _, e := range spec.Errnos {
+			idx, ok := x.Index(0, e)
+			if !ok || domain[idx] != e.Name() {
+				t.Fatalf("%s: errno %s: idx=%d ok=%v", base, e.Name(), idx, ok)
+			}
+			if idx < x.SuccessOrdinals() {
+				t.Fatalf("%s: errno %s indexed into success ordinals", base, e.Name())
+			}
+		}
+		// An errno no spec documents must fall back to the label path.
+		if _, ok := x.Index(0, sys.Errno(250)); ok {
+			t.Fatalf("%s: undocumented errno claimed indexable", base)
+		}
+	}
+}
+
+// TestFlagComboSizeMatchesDecode pins the counting fast path to the decoded
+// label count.
+func TestFlagComboSizeMatchesDecode(t *testing.T) {
+	for _, v := range indexProbeValues() {
+		if got, want := FlagComboSize(v), len(sys.DecodeOpenFlags(int(v))); got != want {
+			t.Fatalf("FlagComboSize(%#o) = %d, len(DecodeOpenFlags) = %d", v, got, want)
+		}
+	}
+}

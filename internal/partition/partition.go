@@ -38,9 +38,25 @@ const (
 	LabelInvalid  = "invalid"
 )
 
+// log2Labels precomputes every reachable power-of-two bucket label so the
+// per-event path never formats strings.
+var log2Labels = func() [MaxLog2 + 1]string {
+	var out [MaxLog2 + 1]string
+	for k := range out {
+		out[k] = fmt.Sprintf("2^%d", k)
+	}
+	return out
+}()
+
 // Log2Label formats the power-of-two bucket label for exponent k, e.g.
-// "2^10" for values in [1024, 2047].
-func Log2Label(k int) string { return fmt.Sprintf("2^%d", k) }
+// "2^10" for values in [1024, 2047]. Exponents in [0, MaxLog2] are served
+// from a precomputed table.
+func Log2Label(k int) string {
+	if k >= 0 && k <= MaxLog2 {
+		return log2Labels[k]
+	}
+	return fmt.Sprintf("2^%d", k)
+}
 
 // Log2Bucket returns the bucket exponent for a positive value: the paper
 // rounds each value down to the nearest power-of-two boundary, so 1024-2047
@@ -66,6 +82,28 @@ type Input interface {
 	Partitions(value int64) []string
 	// Domain returns every partition label in canonical report order.
 	Domain() []string
+}
+
+// Indexer is the ordinal counterpart of Input: PartitionIndices reports the
+// partitions hit by a value as indices into Domain(), appending them into a
+// caller-owned scratch buffer so the per-event hot path performs no
+// allocation and no label formatting. Every scheme in the registry
+// implements it; the indices agree with Partitions element-for-element
+// (same partitions, same order), an invariant the package tests verify over
+// the exhaustive probe corpus.
+type Indexer interface {
+	Input
+	// PartitionIndices appends the Domain() ordinals hit by value to
+	// scratch and returns the extended slice. Callers reuse the returned
+	// slice's backing array across events (pass scratch[:0]).
+	PartitionIndices(value int64, scratch []int) []int
+}
+
+// IndexerForScheme returns the Indexer for a sysspec scheme name, or nil for
+// identifier schemes.
+func IndexerForScheme(scheme string) Indexer {
+	in, _ := ForScheme(scheme).(Indexer)
+	return in
 }
 
 // ForScheme returns the Input partitioner for a sysspec scheme name, or nil
@@ -119,6 +157,24 @@ func (BytesScheme) Domain() []string {
 	return out
 }
 
+// numericIndex is the shared ordinal formula for the numeric domains, whose
+// layout is [<0, =0, 2^0 .. 2^MaxLog2].
+func numericIndex(v int64) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return 1
+	default:
+		return 2 + Log2Bucket(v)
+	}
+}
+
+// PartitionIndices implements Indexer.
+func (BytesScheme) PartitionIndices(v int64, scratch []int) []int {
+	return append(scratch, numericIndex(v))
+}
+
 // OffsetScheme partitions signed offsets: negative values get their own
 // boundary partition, since a negative offset is a distinct corner case
 // (EINVAL for lseek below zero, but legal relative seeks).
@@ -149,6 +205,11 @@ func (OffsetScheme) Domain() []string {
 	return out
 }
 
+// PartitionIndices implements Indexer.
+func (OffsetScheme) PartitionIndices(v int64, scratch []int) []int {
+	return append(scratch, numericIndex(v))
+}
+
 // openFlagsScheme partitions the open flags bitmap per flag name.
 type openFlagsScheme struct{}
 
@@ -167,6 +228,86 @@ func (openFlagsScheme) Domain() []string {
 	// bits are the invalid 0b11 combination; the domain must declare it like
 	// any other reachable label (found by iocovlint's domaincheck probe).
 	return append(out, sys.AccModeInvalidName)
+}
+
+// openFlagOrds holds the Domain() ordinal of every open-flag label, resolved
+// once from the domain itself so the ordinal decoder cannot drift from the
+// declared order. The composite-only bits reconstruct the O_SYNC/O_DSYNC and
+// O_TMPFILE/O_DIRECTORY subsumption exactly as sys.DecodeOpenFlags does.
+var openFlagOrds = func() (t struct {
+	rdonly, wronly, rdwr, invalid int
+	simple                        []struct{ bit, ord int }
+	syncOnly, tmpOnly             int
+	sync, dsync, tmpfile, dir     int
+}) {
+	ord := make(map[string]int)
+	for i, name := range (openFlagsScheme{}).Domain() {
+		ord[name] = i
+	}
+	t.rdonly, t.wronly, t.rdwr = ord["O_RDONLY"], ord["O_WRONLY"], ord["O_RDWR"]
+	t.invalid = ord[sys.AccModeInvalidName]
+	// Same simple-flag order as sys.DecodeOpenFlags: PartitionIndices must
+	// emit ordinals in exactly the order Partitions emits labels, because
+	// TrackCombinations joins them into an order-sensitive combo label.
+	for _, f := range []struct {
+		bit  int
+		name string
+	}{
+		{sys.O_CREAT, "O_CREAT"},
+		{sys.O_EXCL, "O_EXCL"},
+		{sys.O_NOCTTY, "O_NOCTTY"},
+		{sys.O_TRUNC, "O_TRUNC"},
+		{sys.O_APPEND, "O_APPEND"},
+		{sys.O_NONBLOCK, "O_NONBLOCK"},
+		{sys.O_ASYNC, "O_ASYNC"},
+		{sys.O_DIRECT, "O_DIRECT"},
+		{sys.O_LARGEFILE, "O_LARGEFILE"},
+		{sys.O_NOFOLLOW, "O_NOFOLLOW"},
+		{sys.O_NOATIME, "O_NOATIME"},
+		{sys.O_CLOEXEC, "O_CLOEXEC"},
+		{sys.O_PATH, "O_PATH"},
+	} {
+		t.simple = append(t.simple, struct{ bit, ord int }{f.bit, ord[f.name]})
+	}
+	t.syncOnly = sys.O_SYNC &^ sys.O_DSYNC
+	t.tmpOnly = sys.O_TMPFILE &^ sys.O_DIRECTORY
+	t.sync, t.dsync = ord["O_SYNC"], ord["O_DSYNC"]
+	t.tmpfile, t.dir = ord["O_TMPFILE"], ord["O_DIRECTORY"]
+	return t
+}()
+
+// PartitionIndices implements Indexer, mirroring sys.DecodeOpenFlags without
+// allocating label slices.
+func (openFlagsScheme) PartitionIndices(v int64, scratch []int) []int {
+	flags := int(v)
+	switch flags & sys.O_ACCMODE {
+	case sys.O_RDONLY:
+		scratch = append(scratch, openFlagOrds.rdonly)
+	case sys.O_WRONLY:
+		scratch = append(scratch, openFlagOrds.wronly)
+	case sys.O_RDWR:
+		scratch = append(scratch, openFlagOrds.rdwr)
+	default:
+		scratch = append(scratch, openFlagOrds.invalid)
+	}
+	for _, f := range openFlagOrds.simple {
+		if flags&f.bit != 0 {
+			scratch = append(scratch, f.ord)
+		}
+	}
+	switch {
+	case flags&openFlagOrds.syncOnly != 0:
+		scratch = append(scratch, openFlagOrds.sync)
+	case flags&sys.O_DSYNC != 0:
+		scratch = append(scratch, openFlagOrds.dsync)
+	}
+	switch {
+	case flags&openFlagOrds.tmpOnly != 0:
+		scratch = append(scratch, openFlagOrds.tmpfile)
+	case flags&sys.O_DIRECTORY != 0:
+		scratch = append(scratch, openFlagOrds.dir)
+	}
+	return scratch
 }
 
 // modeBitsScheme partitions a mode argument per permission bit; a zero mode
@@ -192,6 +333,22 @@ func (modeBitsScheme) Domain() []string {
 	return out
 }
 
+// PartitionIndices implements Indexer: the domain is "=0" at ordinal 0
+// followed by sys.ModeBitNames in order, and sys.DecodeModeBits walks the
+// bits in that same order.
+func (modeBitsScheme) PartitionIndices(v int64, scratch []int) []int {
+	n := len(scratch)
+	for i, b := range sys.ModeBitNames {
+		if uint32(v)&b.Bit != 0 {
+			scratch = append(scratch, 1+i)
+		}
+	}
+	if len(scratch) == n {
+		scratch = append(scratch, 0)
+	}
+	return scratch
+}
+
 // whenceScheme partitions lseek's whence categorically.
 type whenceScheme struct{}
 
@@ -206,6 +363,15 @@ func (whenceScheme) Partitions(v int64) []string {
 
 func (whenceScheme) Domain() []string {
 	return append(append([]string(nil), sys.WhenceNames...), LabelInvalid)
+}
+
+// PartitionIndices implements Indexer: whence values index the domain
+// directly, with the trailing "invalid" ordinal for out-of-range values.
+func (whenceScheme) PartitionIndices(v int64, scratch []int) []int {
+	if v >= 0 && v < int64(len(sys.WhenceNames)) {
+		return append(scratch, int(v))
+	}
+	return append(scratch, len(sys.WhenceNames))
 }
 
 // xattrFlagsScheme partitions setxattr's flags categorically: 0,
@@ -225,6 +391,17 @@ func (xattrFlagsScheme) Partitions(v int64) []string {
 
 func (xattrFlagsScheme) Domain() []string {
 	return []string{"0", "XATTR_CREATE", "XATTR_REPLACE", LabelInvalid}
+}
+
+// PartitionIndices implements Indexer: the three legal values index the
+// domain directly (XATTR_CREATE = 1, XATTR_REPLACE = 2).
+func (xattrFlagsScheme) PartitionIndices(v int64, scratch []int) []int {
+	switch v {
+	case 0, sys.XATTR_CREATE, sys.XATTR_REPLACE:
+		return append(scratch, int(v))
+	default:
+		return append(scratch, 3)
+	}
 }
 
 // Output partitions a syscall outcome. On failure the partition is the
@@ -276,11 +453,78 @@ func IsSuccess(label string) bool {
 	return label == LabelOK || (len(label) > 3 && label[:3] == LabelOK+":")
 }
 
+// OutputIndexer is the compiled form of a spec's output space: it maps an
+// outcome to an ordinal in OutputDomain(spec) without formatting a label.
+// Errnos outside the spec's documented universe report ok=false; callers
+// fall back to the label path for those (they land in a report's Extra
+// section, exactly as before).
+type OutputIndexer struct {
+	bytes   bool
+	success int // number of leading success ordinals in the domain
+	errno   map[sys.Errno]int
+	domain  []string
+}
+
+// NewOutputIndexer compiles the output domain of spec.
+func NewOutputIndexer(spec *sysspec.Spec) *OutputIndexer {
+	x := &OutputIndexer{
+		bytes:  spec.Ret == sysspec.RetBytes || spec.Ret == sysspec.RetOffset,
+		domain: OutputDomain(spec),
+		errno:  make(map[sys.Errno]int, len(spec.Errnos)),
+	}
+	x.success = len(x.domain) - len(spec.Errnos)
+	for i, e := range spec.Errnos {
+		x.errno[e] = x.success + i
+	}
+	return x
+}
+
+// Index returns the OutputDomain ordinal for one outcome, mirroring Output.
+// ok is false for an errno the spec does not document.
+func (x *OutputIndexer) Index(retVal int64, err sys.Errno) (idx int, ok bool) {
+	if err != sys.OK {
+		idx, ok = x.errno[err]
+		return idx, ok
+	}
+	if !x.bytes {
+		return 0, true
+	}
+	// Success domain layout: [OK:<0, OK:=0, OK:2^0 .. OK:2^MaxLog2].
+	return numericIndex(retVal), true
+}
+
+// Domain returns the compiled output domain (identical to
+// OutputDomain(spec)).
+func (x *OutputIndexer) Domain() []string { return x.domain }
+
+// SuccessOrdinals returns how many leading domain ordinals are success
+// partitions; everything at or beyond it is an errno partition.
+func (x *OutputIndexer) SuccessOrdinals() int { return x.success }
+
+// openFlagSimpleMask is the union of the non-composite open-flag bits, for
+// counting combination sizes without decoding labels.
+var openFlagSimpleMask = func() int {
+	m := 0
+	for _, f := range openFlagOrds.simple {
+		m |= f.bit
+	}
+	return m
+}()
+
 // FlagComboSize counts how many named flags an open flags word combines
 // (the access mode counts as one flag, so the minimum is 1). Table 1 is
-// built from this.
+// built from this. It equals len(sys.DecodeOpenFlags(flags)) but performs
+// no allocation.
 func FlagComboSize(flags int64) int {
-	return len(sys.DecodeOpenFlags(int(flags)))
+	f := int(flags)
+	n := 1 + bits.OnesCount(uint(f&openFlagSimpleMask))
+	if f&(openFlagOrds.syncOnly|sys.O_DSYNC) != 0 {
+		n++
+	}
+	if f&(openFlagOrds.tmpOnly|sys.O_DIRECTORY) != 0 {
+		n++
+	}
+	return n
 }
 
 // HasRdonly reports whether the flags word's access mode is O_RDONLY, which

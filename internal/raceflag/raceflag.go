@@ -1,0 +1,12 @@
+// Package raceflag reports whether the race detector is active.
+// Allocation-regression tests skip under -race: the detector instruments
+// allocations and testing.AllocsPerRun measurements become meaningless.
+//
+// Enabled is a var flipped by a build-tagged init rather than a pair of
+// build-tagged consts so that tools which type-check every file in the
+// package regardless of build constraints (iocovlint's repo loader) still
+// see exactly one declaration.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+var Enabled = false

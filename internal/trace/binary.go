@@ -85,15 +85,17 @@ func (w *BinaryWriter) Emit(ev Event) {
 	w.uvarint(ev.Seq)
 	w.uvarint(uint64(ev.PID))
 	w.str(ev.Name)
-	w.uvarint(uint64(len(ev.Strs)))
+	w.uvarint(uint64(ev.numStrs()))
 	for _, k := range ev.strNames() {
 		w.str(k)
-		w.str(ev.Strs[k])
+		v, _ := ev.Str(k)
+		w.str(v)
 	}
-	w.uvarint(uint64(len(ev.Args)))
+	w.uvarint(uint64(ev.numArgs()))
 	for _, k := range ev.argNames() {
 		w.str(k)
-		w.varint(ev.Args[k])
+		v, _ := ev.Arg(k)
+		w.varint(v)
 	}
 	w.varint(ev.Ret)
 	w.uvarint(uint64(ev.Err))

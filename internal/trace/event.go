@@ -18,6 +18,14 @@ import (
 // Numeric arguments live in Args; string arguments (paths, xattr names) in
 // Strs. Path carries the syscall's primary path argument when it has one,
 // duplicated from Strs for cheap filtering.
+//
+// Arguments have two equivalent representations. Producers that build
+// events by hand (parsers, tests, the syz executor) populate the Args/Strs
+// maps directly. Hot-path producers (the simulated kernel) record through
+// AddArg/AddStr, which fill fixed-size inline storage first and spill to
+// the maps only past capacity, so a typical syscall event allocates
+// nothing. The Arg/Str accessors and the serializers read both
+// representations; no syscall records the same key twice.
 type Event struct {
 	// Seq is a monotonically increasing sequence number assigned by the
 	// emitting process.
@@ -37,16 +45,71 @@ type Event struct {
 	Ret int64
 	// Err is the errno outcome; sys.OK on success.
 	Err sys.Errno
+
+	// Inline argument storage; see AddArg/AddStr. Four numeric slots and
+	// two string slots cover every syscall the simulated kernel traces
+	// (fallocate's fd/mode/offset/len is the widest).
+	iargs [4]argPair
+	istrs [2]strPair
+	nargs uint8
+	nstrs uint8
+}
+
+type argPair struct {
+	name string
+	val  int64
+}
+
+type strPair struct {
+	name, val string
+}
+
+// AddArg records a numeric argument, using inline storage while it lasts
+// and spilling to the Args map past capacity.
+func (e *Event) AddArg(name string, v int64) {
+	if int(e.nargs) < len(e.iargs) {
+		e.iargs[e.nargs] = argPair{name, v}
+		e.nargs++
+		return
+	}
+	if e.Args == nil {
+		e.Args = make(map[string]int64)
+	}
+	e.Args[name] = v
+}
+
+// AddStr records a string argument, using inline storage while it lasts
+// and spilling to the Strs map past capacity.
+func (e *Event) AddStr(name, v string) {
+	if int(e.nstrs) < len(e.istrs) {
+		e.istrs[e.nstrs] = strPair{name, v}
+		e.nstrs++
+		return
+	}
+	if e.Strs == nil {
+		e.Strs = make(map[string]string)
+	}
+	e.Strs[name] = v
 }
 
 // Arg returns a numeric argument and whether it was recorded.
 func (e *Event) Arg(name string) (int64, bool) {
+	for i := 0; i < int(e.nargs); i++ {
+		if e.iargs[i].name == name {
+			return e.iargs[i].val, true
+		}
+	}
 	v, ok := e.Args[name]
 	return v, ok
 }
 
 // Str returns a string argument and whether it was recorded.
 func (e *Event) Str(name string) (string, bool) {
+	for i := 0; i < int(e.nstrs); i++ {
+		if e.istrs[i].name == name {
+			return e.istrs[i].val, true
+		}
+	}
 	v, ok := e.Strs[name]
 	return v, ok
 }
@@ -54,9 +117,40 @@ func (e *Event) Str(name string) (string, bool) {
 // Failed reports whether the syscall returned an error.
 func (e *Event) Failed() bool { return e.Err != sys.OK }
 
+// EachArg calls fn for every numeric argument, in unspecified order.
+func (e *Event) EachArg(fn func(name string, v int64)) {
+	for i := 0; i < int(e.nargs); i++ {
+		fn(e.iargs[i].name, e.iargs[i].val)
+	}
+	for k, v := range e.Args {
+		fn(k, v)
+	}
+}
+
+// EachStr calls fn for every string argument, in unspecified order.
+func (e *Event) EachStr(fn func(name, v string)) {
+	for i := 0; i < int(e.nstrs); i++ {
+		fn(e.istrs[i].name, e.istrs[i].val)
+	}
+	for k, v := range e.Strs {
+		fn(k, v)
+	}
+}
+
+// numArgs returns the total numeric argument count across both
+// representations.
+func (e *Event) numArgs() int { return int(e.nargs) + len(e.Args) }
+
+// numStrs returns the total string argument count across both
+// representations.
+func (e *Event) numStrs() int { return int(e.nstrs) + len(e.Strs) }
+
 // argNames returns the numeric argument keys in deterministic order.
 func (e *Event) argNames() []string {
-	names := make([]string, 0, len(e.Args))
+	names := make([]string, 0, e.numArgs())
+	for i := 0; i < int(e.nargs); i++ {
+		names = append(names, e.iargs[i].name)
+	}
 	for k := range e.Args {
 		names = append(names, k)
 	}
@@ -66,7 +160,10 @@ func (e *Event) argNames() []string {
 
 // strNames returns the string argument keys in deterministic order.
 func (e *Event) strNames() []string {
-	names := make([]string, 0, len(e.Strs))
+	names := make([]string, 0, e.numStrs())
+	for i := 0; i < int(e.nstrs); i++ {
+		names = append(names, e.istrs[i].name)
+	}
 	for k := range e.Strs {
 		names = append(names, k)
 	}

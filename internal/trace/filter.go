@@ -2,6 +2,8 @@ package trace
 
 import (
 	"regexp"
+	"regexp/syntax"
+	"strings"
 )
 
 // Filter reproduces IOCov's trace filter: file-system testers use a
@@ -14,6 +16,12 @@ import (
 // Filter is stateful and single-goroutine, like the analyzer pipeline.
 type Filter struct {
 	mount *regexp.Regexp
+	// lit/litSlash implement the anchored-literal fast path: when the
+	// pattern has the canonical harness.MountPattern shape ^<literal>(/|$),
+	// matching reduces to path == lit || HasPrefix(path, litSlash), which
+	// skips the regexp machine on every event.
+	lit      string
+	litSlash string
 	// fds maps pid -> fd -> path for descriptors opened under the mount.
 	fds map[int]map[int64]string
 	// outside maps pid -> fd for descriptors opened elsewhere, so EBADF
@@ -32,11 +40,44 @@ func NewFilter(mountPattern string) (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Filter{
+	f := &Filter{
 		mount:   re,
 		fds:     make(map[int]map[int64]string),
 		outside: make(map[int]map[int64]bool),
-	}, nil
+	}
+	f.lit, f.litSlash = mountLiteral(mountPattern)
+	return f, nil
+}
+
+// mountLiteral recognizes the ^<literal>(/|$) pattern shape that
+// harness.MountPattern produces and returns the bare literal plus its
+// "literal/" prefix form. Any other shape returns empty strings and the
+// filter falls back to the compiled regexp.
+func mountLiteral(pattern string) (lit, litSlash string) {
+	if !strings.HasPrefix(pattern, "^") || !strings.HasSuffix(pattern, "(/|$)") {
+		return "", ""
+	}
+	body := pattern[1 : len(pattern)-len("(/|$)")]
+	if body == "" || regexp.QuoteMeta(body) != body {
+		return "", ""
+	}
+	// QuoteMeta passing still admits non-metacharacter operators that a
+	// parse reveals (nothing today, but cheap insurance): require the body
+	// to parse as a pure literal.
+	re, err := syntax.Parse(body, syntax.Perl)
+	if err != nil || re.Simplify().Op != syntax.OpLiteral {
+		return "", ""
+	}
+	return body, body + "/"
+}
+
+// matchMount reports whether path is under the filtered mount, preferring
+// the literal-prefix fast path over the regexp.
+func (f *Filter) matchMount(path string) bool {
+	if f.lit != "" {
+		return path == f.lit || strings.HasPrefix(path, f.litSlash)
+	}
+	return f.mount.MatchString(path)
 }
 
 // openFamily are the syscalls whose success installs a descriptor.
@@ -69,14 +110,14 @@ func (f *Filter) Keep(ev Event) bool {
 
 func (f *Filter) classify(ev Event) bool {
 	if openFamily[ev.Name] {
-		match := ev.Path != "" && f.mount.MatchString(ev.Path)
+		match := ev.Path != "" && f.matchMount(ev.Path)
 		if !ev.Failed() && ev.Ret >= 0 {
 			if match {
 				f.pidFds(ev.PID)[ev.Ret] = ev.Path
-				delete(f.pidOutside(ev.PID), ev.Ret)
+				delete(f.outside[ev.PID], ev.Ret)
 			} else {
 				f.pidOutside(ev.PID)[ev.Ret] = true
-				delete(f.pidFds(ev.PID), ev.Ret)
+				delete(f.fds[ev.PID], ev.Ret)
 			}
 		}
 		return match
@@ -91,14 +132,14 @@ func (f *Filter) classify(ev Event) bool {
 		if !ok {
 			return false
 		}
-		path, tracked := f.pidFds(ev.PID)[src]
+		path, tracked := f.fds[ev.PID][src]
 		if !ev.Failed() && ev.Ret >= 0 {
 			if tracked {
 				f.pidFds(ev.PID)[ev.Ret] = path
-				delete(f.pidOutside(ev.PID), ev.Ret)
+				delete(f.outside[ev.PID], ev.Ret)
 			} else {
 				f.pidOutside(ev.PID)[ev.Ret] = true
-				delete(f.pidFds(ev.PID), ev.Ret)
+				delete(f.fds[ev.PID], ev.Ret)
 			}
 		}
 		return tracked
@@ -108,10 +149,10 @@ func (f *Filter) classify(ev Event) bool {
 		if !ok {
 			return false
 		}
-		_, tracked := f.pidFds(ev.PID)[fd]
+		_, tracked := f.fds[ev.PID][fd]
 		if ev.Name == "close" && !ev.Failed() {
-			delete(f.pidFds(ev.PID), fd)
-			delete(f.pidOutside(ev.PID), fd)
+			delete(f.fds[ev.PID], fd)
+			delete(f.outside[ev.PID], fd)
 		}
 		return tracked
 	}
@@ -119,11 +160,16 @@ func (f *Filter) classify(ev Event) bool {
 	// Two-path syscalls (rename, link, symlink) are in scope when either
 	// side touches the mount, so every absolute string argument is
 	// checked, not just the primary path.
-	if ev.Path != "" && f.mount.MatchString(ev.Path) {
+	if ev.Path != "" && f.matchMount(ev.Path) {
 		return true
 	}
+	for i := 0; i < int(ev.nstrs); i++ {
+		if v := ev.istrs[i].val; len(v) > 0 && v[0] == '/' && f.matchMount(v) {
+			return true
+		}
+	}
 	for _, v := range ev.Strs {
-		if len(v) > 0 && v[0] == '/' && f.mount.MatchString(v) {
+		if len(v) > 0 && v[0] == '/' && f.matchMount(v) {
 			return true
 		}
 	}

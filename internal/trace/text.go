@@ -58,14 +58,16 @@ func WriteEvent(w io.Writer, ev Event) error {
 			b.WriteString(",")
 		}
 		first = false
-		fmt.Fprintf(&b, " %s = %s", k, strconv.Quote(ev.Strs[k]))
+		v, _ := ev.Str(k)
+		fmt.Fprintf(&b, " %s = %s", k, strconv.Quote(v))
 	}
 	for _, k := range ev.argNames() {
 		if !first {
 			b.WriteString(",")
 		}
 		first = false
-		fmt.Fprintf(&b, " %s = %d", k, ev.Args[k])
+		v, _ := ev.Arg(k)
+		fmt.Fprintf(&b, " %s = %d", k, v)
 	}
 	b.WriteString(" }")
 	if ev.Err == sys.OK {
