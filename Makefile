@@ -5,8 +5,11 @@
 #                   worker-pool path (harness.RunParallel) makes this the
 #                   gate for shard-isolation regressions
 #   make vet      - the standard go vet checks
-#   make lint     - iocovlint: domaincheck, speccheck, shardcheck, errcheck
-#                   over the whole repository (exit 1 on any finding)
+#   make lint     - iocovlint: domaincheck, speccheck, shardcheck, errcheck,
+#                   httpcheck over the whole repository (exit 1 on any finding)
+#   make fuzz     - short fuzz passes over the binary trace codec
+#   make smoke    - end-to-end iocovd daemon smoke test (ingest, report,
+#                   metrics, graceful shutdown, checkpoint-restore identity)
 #   make bench    - serial-vs-parallel suite benchmarks
 #   make bench-json - full benchmark suite, parsed to BENCH_$(LABEL).json
 #                   (ns/op, B/op, allocs/op per benchmark) for the perf
@@ -16,7 +19,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: verify race vet lint bench bench-json figures
+.PHONY: verify race vet lint fuzz smoke bench bench-json figures
 
 verify:
 	$(GO) build ./...
@@ -32,6 +35,13 @@ vet:
 
 lint:
 	$(GO) run ./cmd/iocovlint
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 15s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzBinaryReaderMalformed -fuzztime 15s ./internal/trace/
+
+smoke:
+	./scripts/smoke_iocovd.sh
 
 bench:
 	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .

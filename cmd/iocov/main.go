@@ -32,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"iocov"
 	"iocov/internal/coverage"
@@ -397,12 +398,19 @@ func cmdRun(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the coverage snapshot as JSON")
 	extended := fs.Bool("extended", false, "analyze with the future-work extended syscall table")
 	combos := fs.Bool("combinations", false, "track distinct bitmap combinations as partitions")
+	remote := fs.String("remote", "", "stream shards to an iocovd daemon at this address instead of analyzing locally")
 	workers := workersFlag(fs, "; -trace forces 1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := validateWorkers(fs, *workers); err != nil {
 		return err
+	}
+	if *remote != "" {
+		if *traceFile != "" || *extended || *combos {
+			return fmt.Errorf("run: -remote is incompatible with -trace/-extended/-combinations (the daemon owns the analyzer)")
+		}
+		return runRemote(*remote, *suite, *scale, *seed, *workers, *asJSON)
 	}
 	opts := coverage.DefaultOptions()
 	opts.ExtendedSyscalls = *extended
@@ -462,6 +470,32 @@ func cmdRun(args []string) error {
 	}
 	printCoverageTable(an, *suite, *extended)
 	return nil
+}
+
+// runRemote is run's -remote mode: wait for the daemon, stream every shard
+// to it (with retry and exponential backoff on transient failures), and
+// report the daemon's receipts. With -json the daemon's aggregate /report
+// is copied to stdout — note it reflects every session the daemon has
+// merged, not just this run's.
+func runRemote(addr, suite string, scale float64, seed int64, workers int, asJSON bool) error {
+	if err := harness.WaitReady(addr, 10*time.Second); err != nil {
+		return err
+	}
+	res, err := harness.RunRemote(addr, suite, scale, seed, harness.RemoteOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"iocov: streamed %s to %s: %d shards (%d retries), %d events, %d kept, %d dropped, %d analyzed, %d skipped\n",
+		suite, addr, res.Shards, res.Retries, res.Events, res.Kept, res.Dropped, res.Analyzed, res.Skipped)
+	if !asJSON {
+		return nil
+	}
+	snap, err := harness.FetchRemoteReport(addr)
+	if err != nil {
+		return err
+	}
+	return snap.WriteJSON(os.Stdout)
 }
 
 func cmdAnalyze(args []string) error {

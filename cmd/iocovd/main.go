@@ -1,0 +1,122 @@
+// Command iocovd is the IOCov aggregation daemon: it accepts
+// dictionary-compressed binary trace streams on POST /ingest, runs each
+// session through its own Filter→Analyzer pipeline, and merges the results
+// into a global coverage store that /report, /tcd, and /metrics expose.
+// Suite shards stream to it with `iocov run -remote ADDR`.
+//
+// Usage:
+//
+//	iocovd [-addr :9077] [-mount REGEX] [-checkpoint FILE]
+//	       [-checkpoint-every 30s] [-max-streams 64] [-ingest-timeout 0]
+//	       [-max-body 0] [-extended]
+//
+// With -checkpoint, the store's snapshot is persisted atomically at the
+// given interval and once more on shutdown; a restarted daemon restores it
+// so /report is byte-identical to the last checkpoint. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener stops, in-flight ingest
+// sessions drain through their merges, the final checkpoint is written, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iocov/internal/coverage"
+	"iocov/internal/server"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	fs := flag.NewFlagSet("iocovd", flag.ExitOnError)
+	addr := fs.String("addr", ":9077", "listen address")
+	mount := fs.String("mount", server.DefaultMountPattern, "mount-point regexp for the per-session trace filter")
+	checkpoint := fs.String("checkpoint", "", "snapshot checkpoint file (enables checkpoint-restore)")
+	every := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint interval (with -checkpoint)")
+	maxStreams := fs.Int("max-streams", 64, "max concurrent ingest sessions (excess get 503)")
+	ingestTimeout := fs.Duration("ingest-timeout", 0, "per-session read deadline (0 = none)")
+	maxBody := fs.Int64("max-body", 0, "per-session stream byte cap (0 = unlimited)")
+	extended := fs.Bool("extended", false, "analyze with the future-work extended syscall table")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	opts := coverage.DefaultOptions()
+	opts.ExtendedSyscalls = *extended
+	srv, err := server.New(server.Config{
+		MountPattern:   *mount,
+		Options:        &opts,
+		MaxStreams:     *maxStreams,
+		IngestTimeout:  *ingestTimeout,
+		MaxBodyBytes:   *maxBody,
+		CheckpointPath: *checkpoint,
+	})
+	if err != nil {
+		log.Printf("iocovd: %v", err)
+		return 1
+	}
+	if *checkpoint != "" {
+		analyzed, skipped := srv.Store().Totals()
+		log.Printf("iocovd: checkpoint %s (restored %d analyzed, %d skipped)", *checkpoint, analyzed, skipped)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	// The checkpoint loop gets its own context, canceled only after the
+	// drain finishes, so the final checkpoint includes every in-flight
+	// session that completed its merge during shutdown.
+	loopCtx, loopCancel := context.WithCancel(context.Background())
+	defer loopCancel()
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		srv.RunCheckpointLoop(loopCtx, *every, func(err error) {
+			log.Printf("iocovd: checkpoint: %v", err)
+		})
+	}()
+
+	log.Printf("iocovd: listening on %s", *addr)
+	select {
+	case err := <-serveErr:
+		// The listener died on its own (port in use, ...): fatal.
+		log.Printf("iocovd: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling so a second signal kills us
+
+	log.Printf("iocovd: shutting down, draining in-flight sessions (up to %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("iocovd: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("iocovd: serve: %v", err)
+	}
+	// Everything that will merge has merged; write the final checkpoint.
+	loopCancel()
+	<-ckptDone
+	if *checkpoint != "" {
+		log.Printf("iocovd: final checkpoint written to %s", *checkpoint)
+	}
+	fmt.Println("iocovd: clean shutdown")
+	return 0
+}

@@ -8,7 +8,9 @@
 //	domaincheck  partition labels vs declared domains (static + probes)
 //	speccheck    sysspec tables vs kernel dispatch
 //	shardcheck   worker-path purity for the parallel snapshot contract
+//	             (plus no-global-writes in the iocovd daemon's packages)
 //	errcheck     silently dropped error returns in internal/ and cmd/
+//	httpcheck    HTTP handler error paths must set an explicit status code
 //
 // The exit status is 0 with no findings, 1 with findings, 2 on usage or
 // load errors — so `make lint` and CI can gate on it.

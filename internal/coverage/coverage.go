@@ -440,6 +440,29 @@ func (a *Analyzer) DistinctCombinations(syscall, arg string) int {
 	return len(a.bitCombos[argKey{syscall, arg}])
 }
 
+// PartitionHits returns, per (merged) syscall name, the total number of
+// partition-counter increments recorded: every input-partition hit plus
+// every output-partition hit, including errnos outside the documented
+// universe. The aggregation daemon exports these as its per-syscall
+// Prometheus counters.
+func (a *Analyzer) PartitionHits() map[string]int64 {
+	out := make(map[string]int64)
+	for k, c := range a.inputs {
+		out[k.syscall] += c.Total()
+	}
+	for name, c := range a.outputs {
+		var t int64
+		for _, n := range c.dense {
+			t += n
+		}
+		for _, n := range c.extra {
+			t += n
+		}
+		out[name] += t
+	}
+	return out
+}
+
 // Analyzed returns the number of in-scope events processed.
 func (a *Analyzer) Analyzed() int64 { return a.analyzed }
 

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iocov/internal/coverage"
+	"iocov/internal/server"
+)
+
+// TestRunRemoteMatchesLocal: streaming shards to an in-process daemon must
+// leave the daemon with a /report byte-identical to a local RunParallel of
+// the same (suite, scale, seed) — the remote pipeline is the local pipeline
+// with a wire in the middle.
+func TestRunRemoteMatchesLocal(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		suite   = SuiteCrashMonkey
+		scale   = 0.05
+		seed    = int64(7)
+		workers = 4
+	)
+	if err := WaitReady(ts.URL, 5*time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	res, err := RunRemote(ts.URL, suite, scale, seed, RemoteOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("RunRemote: %v", err)
+	}
+	if res.Shards != workers || res.Retries != 0 {
+		t.Errorf("shards=%d retries=%d, want %d/0", res.Shards, res.Retries, workers)
+	}
+	if res.Events == 0 || res.Analyzed == 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+
+	local, err := RunParallel(suite, scale, seed, workers, coverage.DefaultOptions())
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if res.Analyzed != local.Analyzed() || res.Skipped != local.Skipped() {
+		t.Errorf("remote analyzed/skipped %d/%d, local %d/%d",
+			res.Analyzed, res.Skipped, local.Analyzed(), local.Skipped())
+	}
+
+	var remoteJSON, localJSON bytes.Buffer
+	if err := s.Store().Report().WriteJSON(&remoteJSON); err != nil {
+		t.Fatalf("remote WriteJSON: %v", err)
+	}
+	if err := local.Snapshot(0).WriteJSON(&localJSON); err != nil {
+		t.Fatalf("local WriteJSON: %v", err)
+	}
+	if !bytes.Equal(remoteJSON.Bytes(), localJSON.Bytes()) {
+		t.Errorf("daemon report != local snapshot (%d vs %d bytes)",
+			remoteJSON.Len(), localJSON.Len())
+	}
+
+	// FetchRemoteReport round-trips the same snapshot.
+	snap, err := FetchRemoteReport(ts.URL)
+	if err != nil {
+		t.Fatalf("FetchRemoteReport: %v", err)
+	}
+	var fetched bytes.Buffer
+	if err := snap.WriteJSON(&fetched); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(fetched.Bytes(), localJSON.Bytes()) {
+		t.Errorf("fetched report != local snapshot")
+	}
+}
+
+// TestRunRemoteRetriesTransient: 503 backpressure is retried with backoff
+// and the re-run shard still merges exactly once.
+func TestRunRemoteRetriesTransient(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	var rejected atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ingest" && rejected.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	res, err := RunRemote(ts.URL, SuiteCrashMonkey, 0.02, 1,
+		RemoteOptions{Workers: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunRemote: %v", err)
+	}
+	if res.Retries == 0 {
+		t.Errorf("retries = 0, want > 0 after %d rejections", rejected.Load())
+	}
+	if n := s.Store().Sessions(); n != 2 {
+		t.Errorf("merged sessions = %d, want 2 (one per shard, despite retries)", n)
+	}
+}
+
+// TestRunRemotePermanentRejection: a 4xx rejection is not retried.
+func TestRunRemotePermanentRejection(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad stream", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	_, err := RunRemote(ts.URL, SuiteCrashMonkey, 0.02, 1,
+		RemoteOptions{Workers: 1, Attempts: 4, Backoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("RunRemote succeeded against a 400-only daemon")
+	}
+	if !strings.Contains(err.Error(), "status 400") {
+		t.Errorf("error %q does not mention the status", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("daemon called %d times, want 1 (no retry on permanent rejection)", n)
+	}
+}
+
+// TestWaitReadyTimesOut: an unreachable daemon fails fast with context.
+func TestWaitReadyTimesOut(t *testing.T) {
+	err := WaitReady("127.0.0.1:1", 0)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against a closed port")
+	}
+	if !strings.Contains(err.Error(), "not ready") {
+		t.Errorf("error %q lacks context", err)
+	}
+}

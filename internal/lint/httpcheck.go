@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HTTPCheck enforces explicit status codes on HTTP handler error paths: in
+// any function that takes an http.ResponseWriter and returns nothing, every
+// early-exit block (an if body, switch case, or select clause whose last
+// statement is a return) must touch the response writer — calling a method
+// on it (WriteHeader, Write) or passing it to a helper (http.Error, a local
+// httpError, ...). A block that returns without touching the writer makes
+// net/http send an implicit "200 OK" with an empty body, silently
+// converting the error into a success — the bug class this pass exists to
+// keep out of the iocovd daemon.
+//
+// Functions with results are exempt: a helper that returns an error
+// delegates the response to its caller, which this rule then checks.
+type HTTPCheck struct {
+	// Paths are the import-path prefixes to analyze.
+	Paths []string
+}
+
+// NewHTTPCheck returns the pass configured for this repository.
+func NewHTTPCheck() *HTTPCheck {
+	return &HTTPCheck{Paths: []string{"iocov/internal", "iocov/cmd"}}
+}
+
+// Name implements Pass.
+func (h *HTTPCheck) Name() string { return "httpcheck" }
+
+// Run implements Pass.
+func (h *HTTPCheck) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		if !matchesAny(pkg.Path, h.Paths) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ftype *ast.FuncType
+				var body *ast.BlockStmt
+				var name string
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ftype, body, name = fn.Type, fn.Body, fn.Name.Name
+				case *ast.FuncLit:
+					ftype, body, name = fn.Type, fn.Body, "func literal"
+				default:
+					return true
+				}
+				if body == nil || ftype.Results != nil && len(ftype.Results.List) > 0 {
+					return true
+				}
+				writers := responseWriterParams(pkg, ftype)
+				if len(writers) == 0 {
+					return true
+				}
+				out = append(out, h.checkHandler(t, pkg, name, body, writers)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// responseWriterParams resolves the function's parameters of type
+// net/http.ResponseWriter.
+func responseWriterParams(pkg *Package, ftype *ast.FuncType) map[*types.Var]bool {
+	writers := make(map[*types.Var]bool)
+	if ftype.Params == nil {
+		return writers
+	}
+	for _, field := range ftype.Params.List {
+		for _, ident := range field.Names {
+			v, ok := pkg.Info.Defs[ident].(*types.Var)
+			if ok && isResponseWriter(v.Type()) {
+				writers[v] = true
+			}
+		}
+	}
+	return writers
+}
+
+// isResponseWriter reports whether t is the net/http.ResponseWriter
+// interface, resolved by identity rather than by name spelling.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkHandler flags every early-exit block in one handler body that
+// returns without touching a response writer.
+func (h *HTTPCheck) checkHandler(t *Target, pkg *Package, name string, body *ast.BlockStmt, writers map[*types.Var]bool) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested handlers are visited on their own
+		}
+		var stmts []ast.Stmt
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			stmts = st.Body.List
+		case *ast.CaseClause:
+			stmts = st.Body
+		case *ast.CommClause:
+			stmts = st.Body
+		default:
+			return true
+		}
+		if len(stmts) == 0 {
+			return true
+		}
+		ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+		if !ok || usesAnyVar(pkg, stmts, writers) {
+			return true
+		}
+		out = append(out, Finding{
+			Pass: h.Name(),
+			Pos:  t.Position(ret.Pos()),
+			Message: fmt.Sprintf(
+				"%s returns on this path without setting a status on the http.ResponseWriter (net/http will answer an implicit 200)",
+				name),
+		})
+		return true
+	})
+	return out
+}
+
+// usesAnyVar reports whether any statement's subtree references one of the
+// given variables.
+func usesAnyVar(pkg *Package, stmts []ast.Stmt, vars map[*types.Var]bool) bool {
+	found := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pkg.Info.Uses[ident].(*types.Var); ok && vars[v] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

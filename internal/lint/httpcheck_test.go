@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestHTTPCheckBadFixture: three handlers each hide one silent-200 early
+// return (if body, select default, switch case) — exactly three findings.
+func TestHTTPCheckBadFixture(t *testing.T) {
+	hc := &HTTPCheck{Paths: []string{"httpcheck_bad"}}
+	findings := hc.Run(fixtureTarget(t, "httpcheck_bad"))
+	if len(findings) != 3 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want exactly 3", len(findings))
+	}
+	f := requireFinding(t, findings, "handleBad returns on this path without setting a status")
+	if wantLine := fixtureLine(t, "httpcheck_bad/bad.go", "return // BAD: silent 200"); f.Pos.Line != wantLine {
+		t.Errorf("handleBad finding at line %d, want %d", f.Pos.Line, wantLine)
+	}
+	requireFinding(t, findings, "handleSelect returns on this path")
+	requireFinding(t, findings, "handleSwitch returns on this path")
+}
+
+// TestHTTPCheckGoodFixture: explicit statuses, helper delegation, an
+// error-returning helper, and a compliant handler literal — no findings.
+func TestHTTPCheckGoodFixture(t *testing.T) {
+	hc := &HTTPCheck{Paths: []string{"httpcheck_good"}}
+	for _, f := range hc.Run(fixtureTarget(t, "httpcheck_good")) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

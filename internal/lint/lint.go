@@ -12,7 +12,13 @@
 //     contain no writes to package-level state and no wall-clock or global
 //     RNG calls, either of which would break the byte-identical
 //     RunParallel-vs-Run snapshot contract;
-//   - errcheck: no error return is silently dropped in internal/ or cmd/.
+//   - errcheck: no error return is silently dropped in internal/ or cmd/;
+//   - httpcheck: every HTTP handler error path in internal/ and cmd/ sets
+//     an explicit status code on the ResponseWriter — an early return that
+//     never touches the writer becomes an implicit 200 with an empty body.
+//
+// shardcheck additionally holds internal/server (the iocovd daemon) to its
+// no-package-level-writes rule, with the wall-clock rules relaxed.
 //
 // The suite is built only on the standard library's go/parser, go/ast,
 // go/token and go/types packages; repository packages are type-checked
@@ -65,6 +71,7 @@ func AllPasses() []Pass {
 		NewSpecCheck(),
 		NewShardCheck(),
 		NewErrCheck(),
+		NewHTTPCheck(),
 	}
 }
 

@@ -81,8 +81,8 @@ func TestRepoSelfCheck(t *testing.T) {
 
 func TestSelectPasses(t *testing.T) {
 	all, err := SelectPasses("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 5, nil", len(all), err)
 	}
 	two, err := SelectPasses("shardcheck, errcheck")
 	if err != nil || len(two) != 2 || two[0].Name() != "shardcheck" || two[1].Name() != "errcheck" {

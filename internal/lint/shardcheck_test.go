@@ -39,3 +39,24 @@ func TestShardCheckGoodFixture(t *testing.T) {
 		t.Errorf("unexpected finding: %s", f)
 	}
 }
+
+// TestShardCheckStatePaths: a StatePaths package keeps the package-level
+// write rule but is exempt from the wall-clock and RNG rules — the daemon
+// legitimately reads the clock for merge-latency metrics.
+func TestShardCheckStatePaths(t *testing.T) {
+	sc := &ShardCheck{StatePaths: []string{"shardcheck_bad"}}
+	findings := sc.Run(fixtureTarget(t, "shardcheck_bad"))
+	if len(findings) != 2 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want 2 (writes only)", len(findings))
+	}
+	requireFinding(t, findings, `writes package-level variable "counter"`)
+	requireFinding(t, findings, `writes package-level variable "cache"`)
+	for _, f := range findings {
+		if strings.Contains(f.Message, "time.") || strings.Contains(f.Message, "rand.") {
+			t.Errorf("state-only package flagged for calls: %s", f)
+		}
+	}
+}

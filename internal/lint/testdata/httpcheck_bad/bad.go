@@ -1,0 +1,43 @@
+// Package httpcheckbad is a lint fixture: handlers whose error paths
+// return without setting a status code, so net/http answers an implicit
+// 200 with an empty body.
+package httpcheckbad
+
+import (
+	"fmt"
+	"net/http"
+)
+
+type daemon struct {
+	busy chan struct{}
+}
+
+// handleBad drops the method guard on the floor: the early return never
+// touches w.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		return // BAD: silent 200
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleSelect sheds load without telling the client.
+func (d *daemon) handleSelect(w http.ResponseWriter, r *http.Request) {
+	select {
+	case d.busy <- struct{}{}:
+	default:
+		return // BAD: silent 200 instead of 503
+	}
+	defer func() { <-d.busy }()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleSwitch misses one case.
+func handleSwitch(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/miss":
+		return // BAD: silent 200 instead of 404
+	default:
+		w.WriteHeader(http.StatusOK)
+	}
+}

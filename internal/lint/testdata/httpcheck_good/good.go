@@ -1,0 +1,72 @@
+// Package httpcheckgood is a lint fixture: every handler error path sets
+// an explicit status, directly or through a helper that receives the
+// writer.
+package httpcheckgood
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type daemon struct {
+	busy chan struct{}
+}
+
+// handleGood answers every path explicitly.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch r.URL.Path {
+	case "/miss":
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	if err := json.NewEncoder(w).Encode(map[string]int{"ok": 1}); err != nil {
+		reject(w, err)
+		return
+	}
+}
+
+// handleSelect sheds load loudly.
+func (d *daemon) handleSelect(w http.ResponseWriter, r *http.Request) {
+	select {
+	case d.busy <- struct{}{}:
+	default:
+		reject(w, nil)
+		return
+	}
+	defer func() { <-d.busy }()
+	w.WriteHeader(http.StatusOK)
+}
+
+// reject is an error-path helper: it takes the writer, so callers passing
+// it satisfy the rule, and it has no early returns of its own.
+func reject(w http.ResponseWriter, err error) {
+	msg := "rejected"
+	if err != nil {
+		msg = err.Error()
+	}
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+// load returns an error, delegating the response to its caller — exempt.
+func load(w http.ResponseWriter, r *http.Request) error {
+	if r.ContentLength == 0 {
+		return nil
+	}
+	w.WriteHeader(http.StatusOK)
+	return nil
+}
+
+// register shows a compliant handler literal.
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "nope", http.StatusMethodNotAllowed)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's observability state, exported in the Prometheus
+// text exposition format by /metrics. Counters are atomics so the ingest
+// hot path never takes a lock; only the merge histogram and the
+// per-syscall hit map are mutex-guarded (both touched once per session,
+// not per event).
+type Metrics struct {
+	// EventsIngested counts events parsed from ingest streams, before the
+	// mount filter.
+	EventsIngested atomic.Int64
+	// EventsFiltered counts events the mount filter dropped.
+	EventsFiltered atomic.Int64
+	// BytesRead counts raw stream bytes consumed, including rejected
+	// sessions.
+	BytesRead atomic.Int64
+	// ActiveStreams is the number of ingest sessions currently open.
+	ActiveStreams atomic.Int64
+	// SessionsTotal counts completed ingest sessions (merged or rejected).
+	SessionsTotal atomic.Int64
+	// SessionsFailed counts sessions rejected before merging (malformed
+	// stream, over-size body, deadline).
+	SessionsFailed atomic.Int64
+
+	mu           sync.Mutex
+	mergeCount   int64
+	mergeSeconds float64
+	hits         map[string]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{hits: make(map[string]int64)}
+}
+
+// ObserveMerge records one store-merge latency.
+func (m *Metrics) ObserveMerge(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mergeCount++
+	m.mergeSeconds += d.Seconds()
+}
+
+// AddHits folds one session's per-syscall partition-hit counts into the
+// global counters.
+func (m *Metrics) AddHits(h map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, n := range h {
+		m.hits[name] += n
+	}
+}
+
+// promGauge distinguishes gauges from counters in the exposition.
+type promMetric struct {
+	name, help, typ string
+	value           string
+}
+
+// WriteProm renders the registry in the Prometheus text format, in a
+// deterministic order so scrapes and tests are stable.
+func (m *Metrics) WriteProm(w io.Writer, analyzed, skipped, sessions int64) error {
+	m.mu.Lock()
+	mergeCount, mergeSeconds := m.mergeCount, m.mergeSeconds
+	hits := make(map[string]int64, len(m.hits))
+	for name, n := range m.hits {
+		hits[name] = n
+	}
+	m.mu.Unlock()
+
+	metrics := []promMetric{
+		{"iocovd_events_ingested_total", "Events parsed from ingest streams.", "counter",
+			fmt.Sprintf("%d", m.EventsIngested.Load())},
+		{"iocovd_events_filtered_total", "Events dropped by the mount filter.", "counter",
+			fmt.Sprintf("%d", m.EventsFiltered.Load())},
+		{"iocovd_events_analyzed_total", "In-scope events analyzed (including restored baseline).", "counter",
+			fmt.Sprintf("%d", analyzed)},
+		{"iocovd_events_skipped_total", "Out-of-scope events skipped (including restored baseline).", "counter",
+			fmt.Sprintf("%d", skipped)},
+		{"iocovd_bytes_read_total", "Raw ingest stream bytes consumed.", "counter",
+			fmt.Sprintf("%d", m.BytesRead.Load())},
+		{"iocovd_active_streams", "Ingest sessions currently open.", "gauge",
+			fmt.Sprintf("%d", m.ActiveStreams.Load())},
+		{"iocovd_sessions_total", "Completed ingest sessions.", "counter",
+			fmt.Sprintf("%d", m.SessionsTotal.Load())},
+		{"iocovd_sessions_failed_total", "Sessions rejected before merging.", "counter",
+			fmt.Sprintf("%d", m.SessionsFailed.Load())},
+		{"iocovd_sessions_merged_total", "Sessions merged into the global store.", "counter",
+			fmt.Sprintf("%d", sessions)},
+		{"iocovd_merge_latency_seconds_sum", "Total store-merge latency.", "counter",
+			fmt.Sprintf("%g", mergeSeconds)},
+		{"iocovd_merge_latency_seconds_count", "Number of store merges.", "counter",
+			fmt.Sprintf("%d", mergeCount)},
+	}
+	for _, pm := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			pm.name, pm.help, pm.name, pm.typ, pm.name, pm.value); err != nil {
+			return err
+		}
+	}
+
+	names := make([]string, 0, len(hits))
+	for name := range hits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w,
+		"# HELP iocovd_syscall_partition_hits_total Partition-counter increments per merged syscall.\n"+
+			"# TYPE iocovd_syscall_partition_hits_total counter\n"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "iocovd_syscall_partition_hits_total{syscall=%q} %d\n",
+			name, hits[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"iocov/internal/coverage"
+)
+
+// Store is the daemon's global coverage state: a live analyzer that
+// per-session analyzers are folded into under a mutex (the byte-identical
+// Analyzer.Merge contract makes merge order irrelevant to the final
+// snapshot), plus an optional baseline snapshot restored from a checkpoint
+// file. Reports are built by merging the baseline with the live analyzer's
+// snapshot, so a restarted daemon picks up exactly where the last
+// checkpoint left it.
+type Store struct {
+	mu         sync.Mutex
+	opts       coverage.Options
+	maxNumeric int
+	live       *coverage.Analyzer
+	baseline   *coverage.Snapshot
+	sessions   int64
+}
+
+// NewStore builds an empty store. maxNumeric is the numeric-domain
+// truncation applied to reports (0 means the default 34-bucket window).
+func NewStore(opts coverage.Options, maxNumeric int) *Store {
+	return &Store{
+		opts:       opts,
+		maxNumeric: maxNumeric,
+		live:       coverage.NewAnalyzer(opts),
+	}
+}
+
+// Options returns the analyzer options sessions must be built with.
+func (s *Store) Options() coverage.Options { return s.opts }
+
+// MergeSession folds one completed session's analyzer into the global
+// state. The session analyzer must have been built with the store's
+// options; it is left untouched and must not be used concurrently with
+// this call.
+func (s *Store) MergeSession(an *coverage.Analyzer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.live.Merge(an); err != nil {
+		return err
+	}
+	s.sessions++
+	return nil
+}
+
+// Sessions returns how many sessions have been merged since start (not
+// counting sessions folded into a restored baseline).
+func (s *Store) Sessions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// Totals returns the global analyzed/skipped event counts, including the
+// restored baseline's.
+func (s *Store) Totals() (analyzed, skipped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	analyzed, skipped = s.live.Analyzed(), s.live.Skipped()
+	if s.baseline != nil {
+		analyzed += s.baseline.Analyzed
+		skipped += s.baseline.Skipped
+	}
+	return analyzed, skipped
+}
+
+// Report builds the global coverage snapshot: the restored baseline (if
+// any) merged with everything ingested since start.
+func (s *Store) Report() *coverage.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.live.Snapshot(s.maxNumeric)
+	if s.baseline == nil {
+		return live
+	}
+	return coverage.MergeSnapshots(s.baseline, live)
+}
+
+// Restore loads a checkpoint file written by WriteCheckpoint into the
+// baseline. A missing file is a clean start, not an error. Restore must be
+// called before any session is merged.
+func (s *Store) Restore(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := coverage.LoadSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("server: corrupt checkpoint %s: %w", path, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.baseline = snap
+	return nil
+}
+
+// WriteCheckpoint atomically persists the current Report to path: the
+// snapshot is written to a temporary file in the same directory and
+// renamed into place, so a crash mid-write never corrupts the previous
+// checkpoint. The persisted bytes are exactly what /report serves, which
+// is what makes restart-then-report byte-identical.
+func (s *Store) WriteCheckpoint(path string) error {
+	snap := s.Report()
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(tmp); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

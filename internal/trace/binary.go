@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -31,6 +33,36 @@ import (
 // like the text parser does.
 
 const binaryMagic = "IOCV\x01"
+
+// ErrMalformed marks structural decode failures: bad magic, dangling or
+// out-of-range dictionary references, and declared sizes over the hard caps
+// below. The ingest daemon exposes BinaryParser to untrusted bytes, so every
+// limit violation must surface as a typed error (never a panic or an
+// unbounded allocation); callers distinguish a malformed stream
+// (errors.Is(err, ErrMalformed)) from a merely truncated one
+// (errors.Is(err, io.ErrUnexpectedEOF)).
+var ErrMalformed = errors.New("malformed binary trace")
+
+const (
+	// maxStringLen caps one dictionary string's declared length. The
+	// parser allocates at most this much for a single string no matter
+	// what length the stream declares.
+	maxStringLen = 1 << 20
+	// maxDictEntries caps the per-stream dictionary on BOTH sides: the
+	// writer stops interning new strings at the cap (they are still
+	// emitted literally) and the parser stops retaining them, so ids stay
+	// aligned for arbitrarily long streams while parser memory stays
+	// bounded by the cap rather than by the stream length.
+	maxDictEntries = 1 << 20
+	// maxEventBytes caps the literal string bytes one event may introduce,
+	// bounding per-event allocation independently of the 64-pair count
+	// caps (64 string pairs of maxStringLen each would otherwise be
+	// 128 MiB for a single event).
+	maxEventBytes = 1 << 22
+	// maxPairs caps the per-event argument-pair counts; no real syscall
+	// has more than a handful.
+	maxPairs = 64
+)
 
 // BinaryWriter serializes events to the binary format. It implements Sink.
 type BinaryWriter struct {
@@ -77,7 +109,9 @@ func (w *BinaryWriter) str(s string) {
 	if w.err == nil {
 		_, w.err = w.bw.WriteString(s)
 	}
-	w.dict[s] = uint64(len(w.dict)) + 1
+	if len(w.dict) < maxDictEntries {
+		w.dict[s] = uint64(len(w.dict)) + 1
+	}
 }
 
 // Emit writes one event. Errors are sticky and reported by Flush.
@@ -109,11 +143,17 @@ func (w *BinaryWriter) Flush() error {
 	return w.bw.Flush()
 }
 
-// BinaryParser reads events back from the binary format.
+// BinaryParser reads events back from the binary format. It is hardened
+// against adversarial input (see ErrMalformed): string lengths, pair counts,
+// dictionary size, and per-event byte budgets are all capped, and dictionary
+// references are validated in the uint64 domain before any indexing.
 type BinaryParser struct {
 	br   *bufio.Reader
 	dict []string
 	read bool
+	// evBytes tracks the literal string bytes the current event has
+	// introduced, enforcing maxEventBytes.
+	evBytes int
 }
 
 // NewBinaryParser creates a parser over r; the header is validated on the
@@ -131,37 +171,73 @@ func (p *BinaryParser) header() error {
 		return fmt.Errorf("trace: short binary header: %w", err)
 	}
 	if string(buf) != binaryMagic {
-		return fmt.Errorf("trace: bad binary magic %q", buf)
+		return fmt.Errorf("trace: bad binary magic %q: %w", buf, ErrMalformed)
 	}
 	p.read = true
 	return nil
 }
 
+// errVarintOverflow captures encoding/binary's unexported overflow sentinel
+// by probing it once, so the parser can classify overlong varints as
+// malformed input by identity rather than by message matching.
+var errVarintOverflow = func() error {
+	overlong := bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64)
+	_, err := binary.ReadUvarint(bytes.NewReader(overlong))
+	return err
+}()
+
+// varintErr types a varint decode failure: EOF and transport errors pass
+// through untouched; the stdlib overflow sentinel becomes ErrMalformed.
+func varintErr(err error) error {
+	if err == errVarintOverflow {
+		return fmt.Errorf("trace: varint overflows 64 bits: %w", ErrMalformed)
+	}
+	return err
+}
+
+// uvarint reads one unsigned varint with typed error classification.
+func (p *BinaryParser) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(p.br)
+	return v, varintErr(err)
+}
+
+// varint reads one zigzag varint with typed error classification.
+func (p *BinaryParser) varint() (int64, error) {
+	v, err := binary.ReadVarint(p.br)
+	return v, varintErr(err)
+}
+
 func (p *BinaryParser) str() (string, error) {
-	id, err := binary.ReadUvarint(p.br)
+	id, err := p.uvarint()
 	if err != nil {
 		return "", err
 	}
 	if id != 0 {
-		idx := int(id) - 1
-		if idx >= len(p.dict) {
-			return "", fmt.Errorf("trace: dangling dictionary reference %d", id)
+		// Validate in the uint64 domain: a 64-bit id converted to int
+		// first could wrap negative and index out of bounds.
+		if id > uint64(len(p.dict)) {
+			return "", fmt.Errorf("trace: dangling dictionary reference %d: %w", id, ErrMalformed)
 		}
-		return p.dict[idx], nil
+		return p.dict[id-1], nil
 	}
-	n, err := binary.ReadUvarint(p.br)
+	n, err := p.uvarint()
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	if n > maxStringLen {
+		return "", fmt.Errorf("trace: unreasonable string length %d: %w", n, ErrMalformed)
+	}
+	if p.evBytes += int(n); p.evBytes > maxEventBytes {
+		return "", fmt.Errorf("trace: event exceeds %d-byte string budget: %w", maxEventBytes, ErrMalformed)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(p.br, buf); err != nil {
-		return "", fmt.Errorf("trace: truncated string: %w", err)
+		return "", fmt.Errorf("trace: truncated string: %w", unexpectedEOF(err))
 	}
 	s := string(buf)
-	p.dict = append(p.dict, s)
+	if len(p.dict) < maxDictEntries {
+		p.dict = append(p.dict, s)
+	}
 	return s, nil
 }
 
@@ -173,7 +249,8 @@ func (p *BinaryParser) Next() (Event, error) {
 		}
 	}
 	var ev Event
-	seq, err := binary.ReadUvarint(p.br)
+	p.evBytes = 0
+	seq, err := p.uvarint()
 	if err != nil {
 		if err == io.EOF {
 			return Event{}, io.EOF
@@ -181,7 +258,7 @@ func (p *BinaryParser) Next() (Event, error) {
 		return Event{}, err
 	}
 	ev.Seq = seq
-	pid, err := binary.ReadUvarint(p.br)
+	pid, err := p.uvarint()
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
@@ -189,12 +266,12 @@ func (p *BinaryParser) Next() (Event, error) {
 	if ev.Name, err = p.str(); err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
-	nStrs, err := binary.ReadUvarint(p.br)
+	nStrs, err := p.uvarint()
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
-	if nStrs > 64 {
-		return Event{}, fmt.Errorf("trace: unreasonable string-arg count %d", nStrs)
+	if nStrs > maxPairs {
+		return Event{}, fmt.Errorf("trace: unreasonable string-arg count %d: %w", nStrs, ErrMalformed)
 	}
 	if nStrs > 0 {
 		ev.Strs = make(map[string]string, nStrs)
@@ -210,12 +287,12 @@ func (p *BinaryParser) Next() (Event, error) {
 			ev.Strs[k] = v
 		}
 	}
-	nArgs, err := binary.ReadUvarint(p.br)
+	nArgs, err := p.uvarint()
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
-	if nArgs > 64 {
-		return Event{}, fmt.Errorf("trace: unreasonable arg count %d", nArgs)
+	if nArgs > maxPairs {
+		return Event{}, fmt.Errorf("trace: unreasonable arg count %d: %w", nArgs, ErrMalformed)
 	}
 	if nArgs > 0 {
 		ev.Args = make(map[string]int64, nArgs)
@@ -224,17 +301,17 @@ func (p *BinaryParser) Next() (Event, error) {
 			if err != nil {
 				return Event{}, unexpectedEOF(err)
 			}
-			v, err := binary.ReadVarint(p.br)
+			v, err := p.varint()
 			if err != nil {
 				return Event{}, unexpectedEOF(err)
 			}
 			ev.Args[k] = v
 		}
 	}
-	if ev.Ret, err = binary.ReadVarint(p.br); err != nil {
+	if ev.Ret, err = p.varint(); err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
-	errno, err := binary.ReadUvarint(p.br)
+	errno, err := p.uvarint()
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
 	}

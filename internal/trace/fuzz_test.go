@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"iocov/internal/sys"
+)
+
+// FuzzBinaryRoundTrip pins the codec's round-trip contract: any event the
+// writer can serialize — whether built through the Args/Strs maps or the
+// inline AddArg/AddStr storage — must come back from the parser semantically
+// identical. The ingest daemon depends on this equivalence: clients stream
+// inline-built kernel events, the daemon analyzes the parsed map-built form.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 7, "open", "pathname", "/mnt/test/a", "flags", int64(0x42), int64(3), uint16(0), true)
+	f.Add(uint64(99), 1, "write", "", "", "count", int64(-9000), int64(-28), uint16(28), false)
+	f.Add(uint64(0), 0, "", "name", "user.attr", "size", int64(1<<40), int64(0), uint16(22), true)
+	f.Fuzz(func(t *testing.T, seq uint64, pid int, name, sk, sv, ak string, av, ret int64, errno uint16, inline bool) {
+		ev := Event{Seq: seq, PID: pid, Name: name, Ret: ret, Err: sys.Errno(errno)}
+		if inline {
+			ev.AddStr(sk, sv)
+			ev.AddArg(ak, av)
+		} else {
+			ev.Strs = map[string]string{sk: sv}
+			ev.Args = map[string]int64{ak: av}
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		w.Emit(ev)
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		got, err := ParseAllBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse back: %v", err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("parsed %d events, want 1", len(got))
+		}
+		g := got[0]
+		if g.Seq != seq || g.PID != pid || g.Name != name || g.Ret != ret || g.Err != sys.Errno(errno) {
+			t.Errorf("scalar fields: got %+v", g)
+		}
+		if v, ok := g.Str(sk); !ok || v != sv {
+			t.Errorf("Str(%q) = %q, %v; want %q", sk, v, ok, sv)
+		}
+		if v, ok := g.Arg(ak); !ok || v != av {
+			t.Errorf("Arg(%q) = %d, %v; want %d", ak, v, ok, av)
+		}
+		if g.numStrs() != 1 || g.numArgs() != 1 {
+			t.Errorf("pair counts: %d strs, %d args; want 1, 1", g.numStrs(), g.numArgs())
+		}
+		if want := primaryPath(g.Strs); g.Path != want {
+			t.Errorf("Path = %q, want primaryPath %q", g.Path, want)
+		}
+	})
+}
+
+// FuzzBinaryReaderMalformed feeds the parser raw untrusted bytes — the exact
+// exposure of the daemon's /ingest endpoint — and requires that it never
+// panics and always terminates with a clean event or a typed error. The
+// seeds include the pre-hardening crasher: a dictionary reference whose
+// 64-bit id wrapped negative when converted to int.
+func FuzzBinaryReaderMalformed(f *testing.F) {
+	// A small valid stream.
+	var valid bytes.Buffer
+	w := NewBinaryWriter(&valid)
+	w.Emit(Event{Seq: 1, PID: 2, Name: "open",
+		Strs: map[string]string{"pathname": "/mnt/test/f"},
+		Args: map[string]int64{"flags": 66}, Ret: 3})
+	w.Emit(Event{Seq: 2, PID: 2, Name: "close", Args: map[string]int64{"fd": 3}})
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+
+	// The old int-overflow crasher: seq, pid, then name = dict ref 1<<63.
+	evil := []byte(binaryMagic)
+	evil = binary.AppendUvarint(evil, 1)     // seq
+	evil = binary.AppendUvarint(evil, 1)     // pid
+	evil = binary.AppendUvarint(evil, 1<<63) // name: huge dictionary id
+	f.Add(evil)
+
+	// A declared string length just over the cap, with no data behind it.
+	huge := []byte(binaryMagic)
+	huge = binary.AppendUvarint(huge, 1)              // seq
+	huge = binary.AppendUvarint(huge, 1)              // pid
+	huge = binary.AppendUvarint(huge, 0)              // name: new dict entry
+	huge = binary.AppendUvarint(huge, maxStringLen+1) // declared length over cap
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewBinaryParser(bytes.NewReader(data))
+		for i := 0; i < 1<<12; i++ {
+			_, err := p.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// Any other error must be a typed decode failure, not
+				// an unclassified one.
+				if !errors.Is(err, ErrMalformed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("untyped parse error: %v", err)
+				}
+				return
+			}
+		}
+	})
+}
