@@ -1,7 +1,7 @@
 // Command iocovlint runs iocov's static-analysis suite over the repository
 // itself, proving the invariants the coverage pipeline depends on:
 //
-//	iocovlint [-root DIR] [-passes LIST] [-v]
+//	iocovlint [-root DIR] [-passes LIST] [-pass NAME] [-json] [-v]
 //
 // Passes (default: all, see internal/lint):
 //
@@ -11,12 +11,20 @@
 //	             (plus no-global-writes in the iocovd daemon's packages)
 //	errcheck     silently dropped error returns in internal/ and cmd/
 //	httpcheck    HTTP handler error paths must set an explicit status code
+//	lockcheck    CFG/dataflow lock-discipline proof for guarded fields
+//	alloccheck   //iocov:hotpath reachability proof of zero allocation
+//
+// -pass NAME runs a single pass; -passes takes a comma-separated subset.
+// -json emits one JSON object per finding ({"pass","file","line","col",
+// "message"}) on stdout, for tooling. -v reports load statistics and each
+// pass's wall-clock analysis time on stderr, so CI logs track engine cost.
 //
 // The exit status is 0 with no findings, 1 with findings, 2 on usage or
 // load errors — so `make lint` and CI can gate on it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +34,31 @@ import (
 	"iocov/internal/lint"
 )
 
+// jsonFinding is the one-object-per-line output shape of -json.
+type jsonFinding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
 func main() {
 	root := flag.String("root", "", "module root to analyze (default: nearest go.mod at or above the working directory)")
 	passes := flag.String("passes", "", "comma-separated pass subset (default: "+strings.Join(lint.PassNames(), ",")+")")
-	verbose := flag.Bool("v", false, "report pass and package statistics")
+	pass := flag.String("pass", "", "run a single pass (shorthand for -passes NAME)")
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding on stdout")
+	verbose := flag.Bool("v", false, "report load statistics and per-pass analysis times")
 	flag.Parse()
+
+	if *pass != "" && *passes != "" {
+		fmt.Fprintln(os.Stderr, "iocovlint: -pass and -passes are mutually exclusive")
+		os.Exit(2)
+	}
+	spec := *passes
+	if *pass != "" {
+		spec = *pass
+	}
 
 	dir := *root
 	if dir == "" {
@@ -41,7 +69,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	selected, err := lint.SelectPasses(*passes)
+	selected, err := lint.SelectPasses(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iocovlint:", err)
 		os.Exit(2)
@@ -52,21 +80,41 @@ func main() {
 		os.Exit(2)
 	}
 	if *verbose {
-		fmt.Printf("iocovlint: %d packages loaded from %s\n", len(target.Pkgs), dir)
-		for _, p := range selected {
-			fmt.Printf("iocovlint: running %s\n", p.Name())
+		fmt.Fprintf(os.Stderr, "iocovlint: %d packages loaded from %s\n", len(target.Pkgs), dir)
+	}
+	findings, times := lint.RunAllTimed(target, selected)
+	if *verbose {
+		for _, pt := range times {
+			fmt.Fprintf(os.Stderr, "iocovlint: %-12s %8.1fms\n",
+				pt.Name, float64(pt.Elapsed.Microseconds())/1000)
 		}
 	}
-	findings := lint.RunAll(target, selected)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			jf := jsonFinding{
+				Pass:    f.Pass,
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Message: f.Message,
+			}
+			if err := enc.Encode(jf); err != nil {
+				fmt.Fprintln(os.Stderr, "iocovlint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "iocovlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 	if *verbose {
-		fmt.Println("iocovlint: no findings")
+		fmt.Fprintln(os.Stderr, "iocovlint: no findings")
 	}
 }
 

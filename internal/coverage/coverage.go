@@ -180,6 +180,8 @@ func NewAnalyzer(opts Options) *Analyzer {
 }
 
 // Emit implements trace.Sink.
+//
+//iocov:hotpath
 func (a *Analyzer) Emit(ev trace.Event) { a.Add(ev) }
 
 // Add analyzes one event. Events for syscalls outside the 27-syscall scope
@@ -189,6 +191,8 @@ func (a *Analyzer) Emit(ev trace.Event) { a.Add(ev) }
 // ordinal arithmetic: no label formatting, no []string partitions, no
 // string-keyed counter maps. The first event of each raw syscall name pays
 // the spec lookup and ArgAppliesTo walk once, in compile.
+//
+//iocov:hotpath
 func (a *Analyzer) Add(ev trace.Event) {
 	e, seen := a.compiled[ev.Name]
 	if !seen {
@@ -239,18 +243,29 @@ func (a *Analyzer) Add(ev trace.Event) {
 	if ord, ok := oc.out.Index(ev.Ret, ev.Err); ok {
 		oc.dense[ord]++
 	} else {
-		// Errno outside the documented universe: no ordinal, count by label
-		// (ends up in the report's Extra section, as before).
-		if oc.extra == nil {
-			oc.extra = make(map[string]int64)
-		}
-		oc.extra[ev.Err.Name()]++
+		oc.addExtra(ev)
 	}
 	oc.dirty = true
 }
 
+// addExtra counts an errno outside the documented universe: no ordinal, so
+// it is counted by label and surfaces in the report's Extra section. Cold by
+// construction — the documented universe covers every errno the simulated
+// kernel emits, so reaching here means a foreign trace — and Errno.Name can
+// format, so the hot path must not inline it.
+//
+//iocov:coldpath
+func (oc *OutputCounter) addExtra(ev trace.Event) {
+	if oc.extra == nil {
+		oc.extra = make(map[string]int64)
+	}
+	oc.extra[ev.Err.Name()]++
+}
+
 // compile resolves everything Add needs for one raw syscall name and caches
 // it. Out-of-scope names cache a nil entry.
+//
+//iocov:coldpath
 func (a *Analyzer) compile(raw string) *compiledEntry {
 	spec := a.table.Base(raw)
 	if spec == nil {
@@ -364,6 +379,7 @@ func (c *OutputCounter) materialize() {
 	c.dirty = false
 }
 
+//iocov:coldpath
 func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Event) {
 	k := argKey{name, arg.Name}
 	c := a.idents[k]
@@ -392,7 +408,10 @@ func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Eve
 // addCombination counts a full bitmap combination as its own partition
 // (future-work metric: bit combinations). The label is the joined flag
 // names in partition order, e.g. "O_RDWR|O_CREAT|O_TRUNC", rebuilt here
-// from the ordinals the hot path produced.
+// from the ordinals the hot path produced. Cold: only runs when the
+// BitCombos option is on, which the paper-replication configs leave off.
+//
+//iocov:coldpath
 func (a *Analyzer) addCombination(k argKey, labels []string, idxs []int) {
 	m := a.bitCombos[k]
 	if m == nil {

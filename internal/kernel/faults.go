@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"iocov/internal/sys"
 )
@@ -32,11 +33,15 @@ type FaultRule struct {
 	Remaining int64
 
 	calls int64
+	// fired is accessed atomically (not an atomic.Int64: rules are passed
+	// to Add by value, and the wrapper's noCopy would forbid that): Check
+	// increments it under the set's lock, but Fired is a public accessor
+	// harness code polls from other goroutines.
 	fired int64
 }
 
 // Fired reports how many times the rule has injected a failure.
-func (r *FaultRule) Fired() int64 { return r.fired }
+func (r *FaultRule) Fired() int64 { return atomic.LoadInt64(&r.fired) }
 
 // NewFaultSet returns an empty rule set.
 func NewFaultSet() *FaultSet { return &FaultSet{} }
@@ -81,7 +86,7 @@ func (fs *FaultSet) Check(name string) (sys.Errno, bool) {
 		if r.Remaining > 0 {
 			r.Remaining--
 		}
-		r.fired++
+		atomic.AddInt64(&r.fired, 1)
 		return r.Errno, true
 	}
 	return sys.OK, false

@@ -22,16 +22,18 @@ import (
 // Kernel owns a filesystem, the system-wide file table accounting, the
 // fault-injection rules, and the trace sink.
 type Kernel struct {
-	fs   *vfs.FS
-	sink trace.Sink
+	// fs, sink, faults and seq need no guarding here: fs and faults are
+	// fixed at construction (FaultSet carries its own lock), sink is set
+	// before any Proc runs, and seq is atomic.
+	fs     *vfs.FS
+	sink   trace.Sink
+	faults *FaultSet
+	seq    atomic.Uint64
 
-	mu       sync.Mutex
-	nextPID  int
-	openSys  int // system-wide open file count (ENFILE)
-	maxSys   int
-	faults   *FaultSet
-	seq      atomic.Uint64
-	traceAll bool
+	mu      sync.Mutex
+	nextPID int
+	openSys int // system-wide open file count (ENFILE)
+	maxSys  int
 }
 
 // Options configures a Kernel.
@@ -207,7 +209,11 @@ type eskv struct {
 	name, val string
 }
 
-// emit sends one completed-syscall event to the kernel's sink.
+// emit sends one completed-syscall event to the kernel's sink. The
+// AllocsPerRun pin on the syscall cycle budgets event emission at zero;
+// alloccheck proves it from here down.
+//
+//iocov:hotpath
 func (p *Proc) emit(name, path string, strs []eskv, args []ekv, ret int64, err sys.Errno) {
 	if p.k.sink == nil {
 		return

@@ -537,3 +537,30 @@ func TestTraceEventSequence(t *testing.T) {
 		t.Errorf("write count = %d, want 42", c)
 	}
 }
+
+// TestFaultFiredConcurrent pins FaultRule.Fired's atomicity: harness code
+// polls Fired from other goroutines while syscalls inject, so the old plain
+// field read raced with Check's increment under -race.
+func TestFaultFiredConcurrent(t *testing.T) {
+	p, _ := newProc(t)
+	rule := p.k.Faults().Add(FaultRule{Syscall: "write", Errno: sys.EINTR, EveryN: 2})
+	fd, _ := p.Open("/f", sys.O_CREAT|sys.O_WRONLY, 0o644)
+	done := make(chan int64)
+	go func() {
+		var last int64
+		for i := 0; i < 1000; i++ {
+			last = rule.Fired()
+		}
+		done <- last
+	}()
+	for i := 0; i < 100; i++ {
+		_, _ = p.Write(fd, []byte("x"))
+	}
+	last := <-done
+	if last < 0 || last > 50 {
+		t.Fatalf("concurrent Fired observed %d, want within 0..50", last)
+	}
+	if got := rule.Fired(); got != 50 {
+		t.Errorf("final Fired = %d, want 50", got)
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+// TestAllocCheckBadFixture pins every seeded hot-path allocation to its
+// line: one finding per rule, nothing extra.
+func TestAllocCheckBadFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "alloccheck_bad")
+	findings := NewAllocCheck().Run(tgt)
+
+	wants := []struct {
+		anchor string // unique fixture text on the expected line
+		msg    string // substring of the finding message
+	}{
+		{"out = append(out, k)", "append to a buffer not owned by a caller or the receiver"},
+		{"return make([]int, n)", "root Hot.MakeSlice): make allocates"},
+		{"return new(item)", "new allocates"},
+		{`return map[string]int{"a": 1}`, "map literal allocates"},
+		{"return []int{1, 2, 3}", "slice literal allocates"},
+		{`return &item{k: "x"}`, "takes the address of a composite literal"},
+		{"return func() int { return n }", "declares a closure"},
+		{"go h.MakeSlice(1)", "starts a goroutine"},
+		{"return a + b", "string concatenation allocates"},
+		{"s += p", "ConcatAssign (hot path"},
+		{"return string(b)", "string conversion allocates"},
+		{`return fmt.Sprintf("%d", v)`, "calls fmt.Sprintf, which formats through reflection"},
+		{"s.accept(v)", "boxes a concrete value into an interface argument"},
+		{"return make([]int, 8)", "root Hot.CallsHelper): make allocates"},
+	}
+	for _, w := range wants {
+		f := requireFinding(t, findings, w.msg)
+		if wantLine := fixtureLine(t, "alloccheck_bad/bad.go", w.anchor); f.Pos.Line != wantLine {
+			t.Errorf("finding %q at line %d, want line %d (%s)", w.msg, f.Pos.Line, wantLine, w.anchor)
+		}
+	}
+	if len(findings) != len(wants) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("alloccheck_bad produced %d findings, want %d", len(findings), len(wants))
+	}
+}
+
+// TestAllocCheckGoodFixture demands silence on the allowed idioms:
+// caller-owned scratch append, receiver storage, nil-guard lazy init, map
+// writes, interface-call boundaries, coldpath boundaries, atomics, and
+// non-allocating external helpers.
+func TestAllocCheckGoodFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "alloccheck_good")
+	for _, f := range NewAllocCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

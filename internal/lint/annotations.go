@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //iocov: annotation grammar ties source comments to the flow-sensitive
+// passes. Four forms exist, all parsed here:
+//
+//	//iocov:guarded-by <mutexField>   on a struct field: the field may only
+//	                                  be accessed while the named sibling
+//	                                  mutex field is held (lockcheck).
+//	//iocov:locked <recv>.<path>      on a function: callers are required to
+//	                                  hold the named lock at entry, e.g.
+//	                                  "fs.mu" on a method with receiver fs
+//	                                  (lockcheck).
+//	//iocov:hotpath                   on a function: the function is a
+//	                                  zero-allocation root; it and everything
+//	                                  statically reachable from it must not
+//	                                  allocate (alloccheck).
+//	//iocov:coldpath                  on a function: an acknowledged slow
+//	                                  path (one-time compilation, option-
+//	                                  gated features); alloccheck traversal
+//	                                  stops here.
+//
+// Annotations live in doc comments (and, for struct fields, trailing line
+// comments). The directive must start the comment line, matching the
+// convention of go:build and friends.
+
+const annotationPrefix = "//iocov:"
+
+// annotationsIn extracts the iocov directives from a comment group: each
+// entry is the text after "//iocov:", e.g. "guarded-by mu".
+func annotationsIn(groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if rest, ok := strings.CutPrefix(c.Text, annotationPrefix); ok {
+				out = append(out, strings.TrimSpace(rest))
+			}
+		}
+	}
+	return out
+}
+
+// funcAnnotations describes the directives on one function declaration.
+type funcAnnotations struct {
+	hotpath  bool
+	coldpath bool
+	// locked holds the lock expressions from //iocov:locked directives,
+	// e.g. "fs.mu" (one directive per lock).
+	locked []string
+}
+
+// parseFuncAnnotations reads a function declaration's doc comment.
+func parseFuncAnnotations(fd *ast.FuncDecl) funcAnnotations {
+	var fa funcAnnotations
+	for _, a := range annotationsIn(fd.Doc) {
+		directive, arg, _ := strings.Cut(a, " ")
+		switch directive {
+		case "hotpath":
+			fa.hotpath = true
+		case "coldpath":
+			fa.coldpath = true
+		case "locked":
+			if arg = strings.TrimSpace(arg); arg != "" {
+				fa.locked = append(fa.locked, arg)
+			}
+		}
+	}
+	return fa
+}
+
+// fieldGuardAnnotation returns the mutex field named by a field's
+// //iocov:guarded-by directive, or "" when the field carries none.
+func fieldGuardAnnotation(f *ast.Field) string {
+	for _, a := range annotationsIn(f.Doc, f.Comment) {
+		directive, arg, _ := strings.Cut(a, " ")
+		if directive == "guarded-by" {
+			return strings.TrimSpace(arg)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body (syntax only; identifiers need not
+// resolve) and lowers it.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_input.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// The golden strings pin block layout, node counts, and every edge for the
+// shapes that historically break CFG builders. A failure here means the
+// lowering changed; update the golden only after hand-checking the edges.
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			work()
+		}
+	}
+	done()`)
+	want := `b0 entry n=0 -> [1]
+b1 label.outer n=1 -> [2]
+b2 for.head n=1 -> [3 5]
+b3 for.join n=1 -> [16]
+b4 for.post n=1 -> [2]
+b5 for.body n=1 -> [6]
+b6 for.head n=1 -> [7 9]
+b7 for.join n=0 -> [4]
+b8 for.post n=1 -> [6]
+b9 for.body n=1 -> [10 11]
+b10 if.join n=1 -> [13 14]
+b11 if.then n=0 -> [4]
+b12 unreachable n=0 -> [10]
+b13 if.join n=1 -> [8]
+b14 if.then n=0 -> [3]
+b15 unreachable n=0 -> [13]
+b16 exit n=0 -> []
+`
+	if got := g.Dump(); got != want {
+		t.Errorf("labeled break/continue CFG:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	g := buildTestCFG(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	case ch2 <- x:
+		send()
+	default:
+		idle()
+	}
+	after()`)
+	want := `b0 entry n=0 -> [2 3 4]
+b1 select.join n=1 -> [5]
+b2 select.comm n=2 -> [1]
+b3 select.comm n=2 -> [1]
+b4 select.default n=1 -> [1]
+b5 exit n=0 -> []
+`
+	if got := g.Dump(); got != want {
+		t.Errorf("select-with-default CFG:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	// Defer stays in the range body as an ordinary node (n=2 in range.body):
+	// the flow passes interpret deferred effects, not the CFG.
+	g := buildTestCFG(t, `
+	for _, f := range files {
+		h := open(f)
+		defer h.close()
+	}`)
+	want := `b0 entry n=1 -> [1]
+b1 range.head n=2 -> [2 3]
+b2 range.join n=0 -> [4]
+b3 range.body n=2 -> [1]
+b4 exit n=0 -> []
+`
+	if got := g.Dump(); got != want {
+		t.Errorf("defer-in-loop CFG:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGEarlyReturnUnderSwitch(t *testing.T) {
+	// Case 1 returns (edge straight to exit), case 2 falls through into
+	// case 3, and the tag-less-match path edges head -> join directly.
+	g := buildTestCFG(t, `
+	switch mode {
+	case 1:
+		return
+	case 2:
+		prep()
+		fallthrough
+	case 3:
+		act()
+	}
+	tail()`)
+	want := `b0 entry n=1 -> [1 2 3 4]
+b1 switch.join n=1 -> [6]
+b2 switch.case n=2 -> [6]
+b3 switch.case n=2 -> [4]
+b4 switch.case n=2 -> [1]
+b5 unreachable n=0 -> [1]
+b6 exit n=0 -> []
+`
+	if got := g.Dump(); got != want {
+		t.Errorf("early-return-under-switch CFG:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// setFact is a test lattice over block-index strings, with the join
+// selectable between union (may-analysis) and intersection (must-analysis).
+type setFact struct {
+	items map[string]bool
+	union bool
+}
+
+func newSetFact(union bool) *setFact {
+	return &setFact{items: make(map[string]bool), union: union}
+}
+
+func (f *setFact) Clone() Fact {
+	out := newSetFact(f.union)
+	for k := range f.items {
+		out.items[k] = true
+	}
+	return out
+}
+
+func (f *setFact) Join(other Fact) Fact {
+	o := other.(*setFact)
+	out := newSetFact(f.union)
+	if f.union {
+		for k := range f.items {
+			out.items[k] = true
+		}
+		for k := range o.items {
+			out.items[k] = true
+		}
+	} else {
+		for k := range f.items {
+			if o.items[k] {
+				out.items[k] = true
+			}
+		}
+	}
+	return out
+}
+
+func (f *setFact) Equal(other Fact) bool {
+	o := other.(*setFact)
+	if len(f.items) != len(o.items) {
+		return false
+	}
+	for k := range f.items {
+		if !o.items[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// markTransfer stamps each block's index into the fact.
+func markTransfer(b *Block, in Fact, _ bool) Fact {
+	f := in.(*setFact)
+	f.items[fmt.Sprintf("b%d", b.Index)] = true
+	return f
+}
+
+func TestSolveForwardDiamondMustAndMay(t *testing.T) {
+	// b0 cond -> b2 then / b3 else -> b1 join -> b4 exit.
+	g := buildTestCFG(t, `
+	if c {
+		a()
+	} else {
+		b()
+	}
+	d()`)
+
+	// Must-analysis (intersection): only the shared entry block survives the
+	// branch merge at if.join.
+	facts := SolveForward(g, newSetFact(false), markTransfer)
+	join := facts[1].(*setFact)
+	if len(join.items) != 1 || !join.items["b0"] {
+		t.Errorf("must-facts at if.join = %v, want exactly {b0}", join.items)
+	}
+
+	// May-analysis (union): both arms are visible at the merge.
+	facts = SolveForward(g, newSetFact(true), markTransfer)
+	join = facts[1].(*setFact)
+	for _, want := range []string{"b0", "b2", "b3"} {
+		if !join.items[want] {
+			t.Errorf("may-facts at if.join missing %s: %v", want, join.items)
+		}
+	}
+}
+
+func TestSolveForwardLoopFixpoint(t *testing.T) {
+	// b0 -> b1 head <-> b4 body / b3 post; union facts must carry the body's
+	// mark back around the loop edge and the worklist must still terminate.
+	g := buildTestCFG(t, `
+	for i := 0; i < n; i++ {
+		body()
+	}`)
+	facts := SolveForward(g, newSetFact(true), markTransfer)
+	head := facts[1].(*setFact)
+	for _, want := range []string{"b0", "b3", "b4"} {
+		if !head.items[want] {
+			t.Errorf("loop-head may-facts missing %s: %v", want, head.items)
+		}
+	}
+}
+
+func TestSolveForwardUnreachableBlocksAreNil(t *testing.T) {
+	g := buildTestCFG(t, `
+	return
+	dead()`)
+	facts := SolveForward(g, newSetFact(true), markTransfer)
+	sawNil := false
+	for i, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			if facts[i] != nil {
+				t.Errorf("unreachable block b%d got a fact: %v", i, facts[i])
+			}
+			sawNil = true
+		}
+	}
+	if !sawNil {
+		t.Fatalf("expected an unreachable block in:\n%s", g.Dump())
+	}
+}

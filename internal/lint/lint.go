@@ -15,7 +15,16 @@
 //   - errcheck: no error return is silently dropped in internal/ or cmd/;
 //   - httpcheck: every HTTP handler error path in internal/ and cmd/ sets
 //     an explicit status code on the ResponseWriter — an early return that
-//     never touches the writer becomes an implicit 200 with an empty body.
+//     never touches the writer becomes an implicit 200 with an empty body;
+//   - lockcheck: flow-sensitive lock-discipline verification over a
+//     per-function CFG (see cfg.go, dataflow.go): fields guarded by an
+//     adjacent mutex or an //iocov:guarded-by annotation are only touched
+//     with the right lock held, and double-lock, lock-leak and
+//     unlock-without-lock are flagged on any path that exhibits them;
+//   - alloccheck: functions reachable from //iocov:hotpath roots are proven
+//     free of allocating constructs, making the zero-allocation contract
+//     static — the AllocsPerRun regressions self-skip under -race, this
+//     pass does not.
 //
 // shardcheck additionally holds internal/server (the iocovd daemon) to its
 // no-package-level-writes rule, with the wall-clock rules relaxed.
@@ -34,6 +43,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic produced by a pass.
@@ -72,6 +82,8 @@ func AllPasses() []Pass {
 		NewShardCheck(),
 		NewErrCheck(),
 		NewHTTPCheck(),
+		NewLockCheck(),
+		NewAllocCheck(),
 	}
 }
 
@@ -107,12 +119,29 @@ func SelectPasses(spec string) ([]Pass, error) {
 	return out, nil
 }
 
+// PassTime records one pass's wall-clock analysis time.
+type PassTime struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunAll runs the given passes over the target and returns the combined
 // findings sorted by position then message, for deterministic output.
 func RunAll(t *Target, passes []Pass) []Finding {
+	findings, _ := RunAllTimed(t, passes)
+	return findings
+}
+
+// RunAllTimed is RunAll plus per-pass wall-clock analysis times, in the
+// order the passes ran; CI logs them so regressions in engine cost (the CFG
+// and dataflow passes dominate) are visible in history.
+func RunAllTimed(t *Target, passes []Pass) ([]Finding, []PassTime) {
 	var out []Finding
+	times := make([]PassTime, 0, len(passes))
 	for _, p := range passes {
+		start := time.Now()
 		out = append(out, p.Run(t)...)
+		times = append(times, PassTime{Name: p.Name(), Elapsed: time.Since(start)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -130,5 +159,5 @@ func RunAll(t *Target, passes []Pass) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, times
 }

@@ -81,12 +81,15 @@ func TestRepoSelfCheck(t *testing.T) {
 
 func TestSelectPasses(t *testing.T) {
 	all, err := SelectPasses("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 7, nil", len(all), err)
 	}
-	two, err := SelectPasses("shardcheck, errcheck")
-	if err != nil || len(two) != 2 || two[0].Name() != "shardcheck" || two[1].Name() != "errcheck" {
-		t.Fatalf("SelectPasses(shardcheck, errcheck) = %v, err %v", two, err)
+	if last := all[len(all)-1].Name(); last != "alloccheck" {
+		t.Fatalf("last pass = %s, want alloccheck", last)
+	}
+	two, err := SelectPasses("lockcheck, errcheck")
+	if err != nil || len(two) != 2 || two[0].Name() != "lockcheck" || two[1].Name() != "errcheck" {
+		t.Fatalf("SelectPasses(lockcheck, errcheck) = %v, err %v", two, err)
 	}
 	if _, err := SelectPasses("nosuchpass"); err == nil {
 		t.Fatal("SelectPasses(nosuchpass) did not fail")

@@ -139,7 +139,11 @@ func parseDir(fset *token.FileSet, dir, path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		// ParseComments keeps doc and line comments in the AST: the CFG-based
+		// passes read the //iocov: annotation grammar (guarded-by, locked,
+		// hotpath, coldpath) from them.
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,1144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck verifies the guard discipline the daemon's byte-identical merge
+// contract and the simulated kernel's shared state depend on: every access
+// to a mutex-guarded struct field must happen on paths where the mutex is
+// held. On top of the CFG/dataflow engine it checks, per function:
+//
+//   - guarded-field reads and writes against the must-held lock set
+//     (reads of RWMutex-guarded fields accept a read lock, writes demand
+//     the write lock);
+//   - double-lock: a second Lock of a mutex that may already be held
+//     (self-deadlock, including indirectly via a call to a method whose
+//     entry block takes the same lock);
+//   - lock-leak: a return or explicit panic reached while a lock may still
+//     be held with no deferred unlock covering it;
+//   - unlock-without-lock, including unlocks that only some paths pair
+//     with a Lock.
+//
+// Guard relationships come from two sources. The explicit form is a
+// //iocov:guarded-by <mutexField> annotation on a struct field. Without
+// annotations, guards are inferred adjacency-style: in a struct with a
+// sync.Mutex/RWMutex field, every field declared after the mutex in the
+// same blank-line-delimited declaration group is guarded by it (fields of
+// sync/atomic types are exempt — they are their own synchronization).
+// Annotating any field of a struct switches that struct to explicit mode.
+//
+// Helpers that expect the caller to hold the lock either declare it with
+// //iocov:locked <recv>.<mutexField> (checked at every call site) or are
+// inferred: an unexported method whose every static call site holds the
+// receiver's mutex is analyzed with the lock held at entry. The inference
+// is a greatest-fixpoint over the call graph, so mutually recursive
+// helpers (vfs walk/followSymlink) resolve without annotations.
+//
+// Soundness boundary, by design: lock and field paths are canonicalized
+// syntactically (single-assignment local aliases are expanded); accesses
+// through expressions the canonicalizer cannot name, dynamic dispatch, and
+// closures passed to other functions are not tracked. Goroutine bodies
+// (`go func(){...}`) are analyzed with an empty entry lock set.
+type LockCheck struct{}
+
+// NewLockCheck returns the pass.
+func NewLockCheck() *LockCheck { return &LockCheck{} }
+
+// Name implements Pass.
+func (l *LockCheck) Name() string { return "lockcheck" }
+
+// guardInfo describes one guarded struct field.
+type guardInfo struct {
+	mutex string // sibling mutex field name
+	rw    bool   // mutex is a sync.RWMutex
+}
+
+// lockAnalysis is the whole-target state shared by inference and reporting.
+type lockAnalysis struct {
+	t    *Target
+	pass string
+	// guards maps a struct field object to its guard.
+	guards map[*types.Var]guardInfo
+	// funcs maps a function object to its declaration context.
+	funcs map[*types.Func]*funcCtx
+	// assumed holds the optimistic locked-on-entry keys (callee frame,
+	// e.g. "fs.mu") for unexported methods under inference.
+	assumed map[*types.Func]map[string]bool
+	// entryLocks caches, per function, the mutex field names its entry
+	// block unconditionally acquires on the receiver (deadlock check).
+	entryLocks map[*types.Func]map[string]bool
+	// pessimized notes inference candidates that lost a key, for better
+	// messages at the access site.
+	pessimized map[*types.Func]bool
+
+	findings []Finding
+}
+
+// funcCtx is the per-function analysis context.
+type funcCtx struct {
+	an   *lockAnalysis
+	pkg  *Package
+	decl *ast.FuncDecl
+	fa   funcAnnotations
+	obj  *types.Func
+
+	cfg *CFG
+	// writes marks terminal lvalue expressions (selector/ident after
+	// unwrapping index/star/slice/paren) that are written.
+	writes map[ast.Expr]bool
+	// aliases maps single-assignment locals to their canonical paths.
+	aliases map[*types.Var]string
+	// fresh marks locals that only ever hold a freshly allocated value
+	// (&T{...}, T{...}, new(T)): unshared, so guard-exempt.
+	fresh map[*types.Var]bool
+	// entryMust holds the entry lock keys of the body currently being
+	// reported (the function's own, or a closure's snapshot).
+	entryMust map[string]bool
+	// topLevel is true while reporting the declaration's own body (the
+	// //iocov:locked exit contract does not apply to closures).
+	topLevel bool
+
+	recvName string
+}
+
+// Run implements Pass.
+func (l *LockCheck) Run(t *Target) []Finding {
+	an := &lockAnalysis{
+		t:          t,
+		pass:       l.Name(),
+		guards:     make(map[*types.Var]guardInfo),
+		funcs:      make(map[*types.Func]*funcCtx),
+		assumed:    make(map[*types.Func]map[string]bool),
+		entryLocks: make(map[*types.Func]map[string]bool),
+		pessimized: make(map[*types.Func]bool),
+	}
+	for _, pkg := range t.Pkgs {
+		an.collectGuards(pkg)
+	}
+	for _, pkg := range t.Pkgs {
+		an.collectFuncs(pkg)
+	}
+	an.seedInference()
+	an.inferLockedEntries()
+	an.report()
+	return an.findings
+}
+
+func (an *lockAnalysis) addFinding(pos token.Pos, format string, args ...interface{}) {
+	an.findings = append(an.findings, Finding{
+		Pass:    an.pass,
+		Pos:     an.t.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// mutexKind classifies a field type: 1 = Mutex, 2 = RWMutex, 0 = neither.
+// Pointer-to-mutex fields count the same as value fields.
+func mutexKind(t types.Type) int {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return 0
+	}
+	switch named.Obj().Name() {
+	case "Mutex":
+		return 1
+	case "RWMutex":
+		return 2
+	}
+	return 0
+}
+
+// isAtomicType reports whether a field type comes from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// collectGuards builds the guarded-field table for one package's structs.
+func (an *lockAnalysis) collectGuards(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			an.collectStructGuards(pkg, ts, st)
+			return true
+		})
+	}
+}
+
+type fieldDecl struct {
+	field *ast.Field
+	name  *ast.Ident
+	obj   *types.Var
+}
+
+// collectStructGuards applies the annotation-or-adjacency rule to one struct.
+func (an *lockAnalysis) collectStructGuards(pkg *Package, ts *ast.TypeSpec, st *ast.StructType) {
+	var fields []fieldDecl
+	mutexByName := make(map[string]int) // field name -> mutexKind
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			obj, _ := pkg.Info.Defs[name].(*types.Var)
+			if obj == nil {
+				continue
+			}
+			fields = append(fields, fieldDecl{field: f, name: name, obj: obj})
+			if k := mutexKind(obj.Type()); k != 0 {
+				mutexByName[name.Name] = k
+			}
+		}
+	}
+	if len(mutexByName) == 0 {
+		return
+	}
+
+	// Explicit mode: any //iocov:guarded-by annotation claims the struct.
+	explicit := false
+	for _, fd := range fields {
+		if fieldGuardAnnotation(fd.field) != "" {
+			explicit = true
+			break
+		}
+	}
+	if explicit {
+		for _, fd := range fields {
+			g := fieldGuardAnnotation(fd.field)
+			if g == "" {
+				continue
+			}
+			kind, ok := mutexByName[g]
+			if !ok {
+				an.addFinding(fd.name.Pos(),
+					"//iocov:guarded-by on %s.%s names %q, which is not a sync.Mutex or sync.RWMutex field of %s",
+					ts.Name.Name, fd.name.Name, g, ts.Name.Name)
+				continue
+			}
+			an.guards[fd.obj] = guardInfo{mutex: g, rw: kind == 2}
+		}
+		return
+	}
+
+	// Inferred mode: fields after the first mutex, same blank-line group.
+	firstMutex := -1
+	for i, fd := range fields {
+		if mutexKind(fd.obj.Type()) != 0 {
+			firstMutex = i
+			break
+		}
+	}
+	kind := mutexKind(fields[firstMutex].obj.Type())
+	mutexName := fields[firstMutex].name.Name
+	for i := firstMutex + 1; i < len(fields); i++ {
+		fd := fields[i]
+		if an.groupBreakBetween(fields[i-1], fd) {
+			break
+		}
+		if mutexKind(fd.obj.Type()) != 0 || isAtomicType(fd.obj.Type()) {
+			continue
+		}
+		an.guards[fd.obj] = guardInfo{mutex: mutexName, rw: kind == 2}
+	}
+}
+
+// groupBreakBetween reports whether a blank line separates two consecutive
+// field declarations (doc comments count as part of the following field).
+func (an *lockAnalysis) groupBreakBetween(prev, next fieldDecl) bool {
+	if prev.field == next.field {
+		return false // two names in one declaration: same group
+	}
+	end := prev.field.End()
+	if prev.field.Comment != nil && prev.field.Comment.End() > end {
+		end = prev.field.Comment.End()
+	}
+	start := next.field.Pos()
+	if next.field.Doc != nil && next.field.Doc.Pos() < start {
+		start = next.field.Doc.Pos()
+	}
+	return an.t.Position(start).Line > an.t.Position(end).Line+1
+}
+
+// collectFuncs registers every function declaration with a body.
+func (an *lockAnalysis) collectFuncs(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fc := &funcCtx{an: an, pkg: pkg, decl: fd, fa: parseFuncAnnotations(fd), obj: obj}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				fc.recvName = fd.Recv.List[0].Names[0].Name
+			}
+			an.funcs[obj] = fc
+		}
+	}
+}
+
+// receiverStruct resolves a method's receiver to its named struct type.
+func receiverStruct(obj *types.Func) (*types.Named, *types.Struct) {
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil, nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// receiverMutexes lists the mutex field names of a method's receiver struct.
+func receiverMutexes(obj *types.Func) []string {
+	_, st := receiverStruct(obj)
+	if st == nil {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if mutexKind(st.Field(i).Type()) != 0 {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// seedInference starts every inference candidate optimistically locked: an
+// unexported, unannotated method with a named receiver over a mutex-bearing
+// struct is assumed to hold the receiver's mutexes at entry until a call
+// site disproves it (greatest fixpoint, so recursive helper cycles keep
+// their assumption as long as every external caller holds the lock).
+func (an *lockAnalysis) seedInference() {
+	for obj, fc := range an.funcs {
+		if obj.Exported() || len(fc.fa.locked) > 0 || fc.recvName == "" {
+			continue
+		}
+		keys := make(map[string]bool)
+		for _, m := range receiverMutexes(obj) {
+			keys[fc.recvName+"."+m] = true
+		}
+		if len(keys) > 0 {
+			an.assumed[obj] = keys
+		}
+	}
+}
+
+// inferLockedEntries runs the call-site fixpoint: keys disproved by any
+// call site are removed and the analysis repeats until stable.
+func (an *lockAnalysis) inferLockedEntries() {
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for _, fc := range an.funcs {
+			fc.prepare()
+			facts := SolveForward(fc.cfg, fc.entryFact(), fc.transferSolve)
+			for i, b := range fc.cfg.Blocks {
+				if facts[i] == nil {
+					continue
+				}
+				fc.walkBlock(b, facts[i].Clone().(*lockFact), func(fact *lockFact, n ast.Node) {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if fc.disproveAt(call, fact) {
+							changed = true
+						}
+					}
+				})
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// disproveAt checks one call site against the callee's assumed entry locks,
+// removing any assumption the site does not justify. Reports whether an
+// assumption was removed.
+func (fc *funcCtx) disproveAt(call *ast.CallExpr, fact *lockFact) bool {
+	callee := fc.calleeOf(call)
+	if callee == nil {
+		return false
+	}
+	assumed := fc.an.assumed[callee]
+	if len(assumed) == 0 {
+		return false
+	}
+	changed := false
+	for key := range assumed {
+		if !fc.callerHoldsCalleeKey(call, callee, key, fact) {
+			delete(assumed, key)
+			fc.an.pessimized[callee] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// calleeOf statically resolves a call to a module function declaration.
+func (fc *funcCtx) calleeOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, _ := fc.pkg.Info.Uses[id].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	if _, known := fc.an.funcs[obj]; !known {
+		return nil
+	}
+	return obj
+}
+
+// callerHoldsCalleeKey translates a callee-frame lock key ("fs.mu") to the
+// caller frame through the call's receiver or arguments and checks it
+// against the caller's must-held set (a freshly allocated receiver counts
+// as held: the object is unshared).
+func (fc *funcCtx) callerHoldsCalleeKey(call *ast.CallExpr, callee *types.Func, key string, fact *lockFact) bool {
+	calleeCtx := fc.an.funcs[callee]
+	root, rest, _ := strings.Cut(key, ".")
+	var base ast.Expr
+	if calleeCtx != nil && root == calleeCtx.recvName && calleeCtx.decl.Recv != nil {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		base = sel.X
+	} else {
+		// Parameter-rooted keys: match by position.
+		idx := calleeParamIndex(callee, root)
+		if idx < 0 || idx >= len(call.Args) {
+			return false
+		}
+		base = call.Args[idx]
+	}
+	path, rootVar, ok := fc.canon(base)
+	if !ok {
+		return false
+	}
+	if rootVar != nil && fc.fresh[rootVar] {
+		return true
+	}
+	return fact.must[path+"."+rest]
+}
+
+// calleeParamIndex finds a parameter's position by name.
+func calleeParamIndex(callee *types.Func, name string) int {
+	sig := callee.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// report runs the final analysis over every function and closure.
+func (an *lockAnalysis) report() {
+	// Deterministic function order for stable findings.
+	ordered := make([]*funcCtx, 0, len(an.funcs))
+	for _, fc := range an.funcs {
+		ordered = append(ordered, fc)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].decl.Pos() < ordered[j].decl.Pos()
+	})
+	for _, fc := range ordered {
+		fc.prepare()
+		fc.checkAnnotations()
+		fc.analyzeBody(fc.decl.Body, fc.entryFact(), true)
+	}
+}
+
+// analyzeBody solves and reports one body (function or closure) with the
+// given entry fact.
+func (fc *funcCtx) analyzeBody(body *ast.BlockStmt, entry Fact, top bool) {
+	g := BuildCFG(body)
+	savedCFG, savedEntry, savedTop := fc.cfg, fc.entryMust, fc.topLevel
+	fc.cfg = g
+	fc.entryMust = copySet(entry.(*lockFact).must)
+	fc.topLevel = top
+	facts := SolveForward(g, entry, fc.transferSolve)
+	for i, b := range g.Blocks {
+		if facts[i] == nil {
+			continue
+		}
+		fact := facts[i].Clone().(*lockFact)
+		fc.walkBlock(b, fact, func(f *lockFact, n ast.Node) { fc.checkNode(f, n) })
+		fc.checkExit(b, fact)
+	}
+	fc.cfg, fc.entryMust, fc.topLevel = savedCFG, savedEntry, savedTop
+}
+
+// checkAnnotations validates //iocov:locked roots against the signature.
+func (fc *funcCtx) checkAnnotations() {
+	for _, key := range fc.fa.locked {
+		root, _, ok := strings.Cut(key, ".")
+		if !ok || (root != fc.recvName && calleeParamIndex(fc.obj, root) < 0) {
+			fc.an.addFinding(fc.decl.Pos(),
+				"//iocov:locked %s: root %q is neither the receiver nor a parameter of %s",
+				key, root, fc.obj.Name())
+		}
+	}
+}
+
+// entryFact builds the function's entry lock set from annotations and the
+// inference fixpoint.
+func (fc *funcCtx) entryFact() Fact {
+	f := newLockFact()
+	for _, key := range fc.fa.locked {
+		f.must[key] = true
+		f.may[key] = true
+	}
+	for key := range fc.an.assumed[fc.obj] {
+		f.must[key] = true
+		f.may[key] = true
+	}
+	return f
+}
+
+// prepare builds the CFG, write set, aliases, and fresh roots once.
+func (fc *funcCtx) prepare() {
+	if fc.cfg != nil {
+		return
+	}
+	fc.cfg = BuildCFG(fc.decl.Body)
+	fc.writes = make(map[ast.Expr]bool)
+	fc.aliases = make(map[*types.Var]string)
+	fc.fresh = make(map[*types.Var]bool)
+
+	assignCount := make(map[*types.Var]int)
+	assignRHS := make(map[*types.Var]ast.Expr)
+	recordLHS := func(e ast.Expr, rhs ast.Expr) {
+		fc.writes[unwrapLvalue(e)] = true
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v := fc.localVar(id); v != nil {
+				assignCount[v]++
+				assignRHS[v] = rhs
+			}
+		}
+	}
+	ast.Inspect(fc.decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Lhs) == len(st.Rhs) {
+					rhs = st.Rhs[i]
+				}
+				recordLHS(lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			fc.writes[unwrapLvalue(st.X)] = true
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				fc.writes[unwrapLvalue(st.X)] = true
+			}
+		case *ast.RangeStmt:
+			if st.Key != nil {
+				recordLHS(st.Key, nil)
+			}
+			if st.Value != nil {
+				recordLHS(st.Value, nil)
+			}
+		}
+		return true
+	})
+	// Single-assignment locals: aliases (selector-chain RHS) and fresh
+	// roots (&T{...}, T{...}, new(T) RHS).
+	for v, n := range assignCount {
+		if n != 1 || assignRHS[v] == nil {
+			continue
+		}
+		rhs := ast.Unparen(assignRHS[v])
+		switch r := rhs.(type) {
+		case *ast.UnaryExpr:
+			if r.Op == token.AND {
+				if _, ok := r.X.(*ast.CompositeLit); ok {
+					fc.fresh[v] = true
+				}
+			}
+		case *ast.CompositeLit:
+			fc.fresh[v] = true
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "new" && fc.pkg.Info.Uses[id] == nil {
+				fc.fresh[v] = true
+			}
+		case *ast.SelectorExpr, *ast.Ident:
+			if path, _, ok := fc.canonNoAlias(rhs, 0); ok {
+				fc.aliases[v] = path
+			}
+		}
+	}
+}
+
+// localVar resolves an identifier to a function-scoped variable.
+func (fc *funcCtx) localVar(id *ast.Ident) *types.Var {
+	obj := fc.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = fc.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// unwrapLvalue strips index, slice, star, and paren wrappers so the write
+// set holds the terminal selector or identifier.
+func unwrapLvalue(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// canon resolves an expression to a canonical access path ("p.k.mu") and
+// its root variable. Single-assignment aliases are expanded.
+func (fc *funcCtx) canon(e ast.Expr) (string, *types.Var, bool) {
+	return fc.canonNoAlias(e, 4)
+}
+
+func (fc *funcCtx) canonNoAlias(e ast.Expr, aliasDepth int) (string, *types.Var, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := fc.pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			v, ok = fc.pkg.Info.Defs[x].(*types.Var)
+		}
+		if !ok || v == nil {
+			return "", nil, false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			// Package-level variable: canonical across functions.
+			return "G·" + v.Pkg().Path() + "." + v.Name(), v, true
+		}
+		if alias, ok := fc.aliases[v]; ok && aliasDepth > 0 {
+			return alias, nil, true
+		}
+		return v.Name(), v, true
+	case *ast.SelectorExpr:
+		if sel, ok := fc.pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			base, root, ok := fc.canonNoAlias(x.X, aliasDepth)
+			if !ok {
+				return "", nil, false
+			}
+			return base + "." + x.Sel.Name, root, true
+		}
+		// Qualified identifier: pkgname.Var.
+		if v, ok := fc.pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return "G·" + v.Pkg().Path() + "." + v.Name(), v, true
+		}
+		return "", nil, false
+	case *ast.StarExpr:
+		return fc.canonNoAlias(x.X, aliasDepth)
+	default:
+		return "", nil, false
+	}
+}
+
+// ---- the lock fact lattice ----
+
+const readSuffix = "\x00r"
+
+type lockFact struct {
+	must map[string]bool // held on every path
+	may  map[string]bool // held on some path
+	defU map[string]bool // unlock deferred on every path
+}
+
+func newLockFact() *lockFact {
+	return &lockFact{
+		must: make(map[string]bool),
+		may:  make(map[string]bool),
+		defU: make(map[string]bool),
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func (f *lockFact) Clone() Fact {
+	return &lockFact{must: copySet(f.must), may: copySet(f.may), defU: copySet(f.defU)}
+}
+
+func (f *lockFact) Join(other Fact) Fact {
+	o := other.(*lockFact)
+	out := newLockFact()
+	for k := range f.must {
+		if o.must[k] {
+			out.must[k] = true
+		}
+	}
+	for k := range f.may {
+		out.may[k] = true
+	}
+	for k := range o.may {
+		out.may[k] = true
+	}
+	// Deferred unlocks join with union: `if cond { mu.Lock(); defer
+	// mu.Unlock() }` is correct code, and the deferred unlock only matters
+	// on paths where the lock is may-held anyway.
+	for k := range f.defU {
+		out.defU[k] = true
+	}
+	for k := range o.defU {
+		out.defU[k] = true
+	}
+	return out
+}
+
+func (f *lockFact) Equal(other Fact) bool {
+	o := other.(*lockFact)
+	return setsEqual(f.must, o.must) && setsEqual(f.may, o.may) && setsEqual(f.defU, o.defU)
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- transfer ----
+
+// transferSolve is the pure transfer function used during fixpoint solving:
+// it applies lock-state effects without reporting.
+func (fc *funcCtx) transferSolve(b *Block, in Fact, _ bool) Fact {
+	fact := in.(*lockFact)
+	fc.walkBlock(b, fact, nil)
+	return fact
+}
+
+// walkBlock applies each node's lock effects to fact in execution order,
+// invoking visit (when non-nil) with the fact state just before each node's
+// effects apply.
+func (fc *funcCtx) walkBlock(b *Block, fact *lockFact, visit func(*lockFact, ast.Node)) {
+	for _, node := range b.Nodes {
+		fc.walkNode(node, fact, visit)
+	}
+}
+
+// walkNode walks one statement or clause expression. Function literals are
+// not descended into here: their bodies run under their own lock context
+// (see checkNode).
+func (fc *funcCtx) walkNode(node ast.Node, fact *lockFact, visit func(*lockFact, ast.Node)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			if visit != nil {
+				visit(fact, n)
+			}
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if visit != nil {
+				visit(fact, n)
+			}
+			fc.applyDefer(d, fact)
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			if visit != nil {
+				visit(fact, n)
+			}
+			// The goroutine body runs concurrently; its arguments are
+			// evaluated here, but lock ops inside the literal are its own.
+			for _, arg := range g.Call.Args {
+				fc.walkNode(arg, fact, visit)
+			}
+			return false
+		}
+		if visit != nil {
+			visit(fact, n)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, op, kok := fc.lockOp(call); kok {
+				fc.applyLockOp(fact, key, op)
+			}
+		}
+		return true
+	})
+}
+
+// Lock operation codes.
+const (
+	opLock = iota
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// lockOp classifies a call as a sync.Mutex/RWMutex operation on a
+// canonicalizable lock path.
+func (fc *funcCtx) lockOp(call *ast.CallExpr) (string, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "Unlock":
+		op = opUnlock
+	case "RLock":
+		op = opRLock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", 0, false
+	}
+	fn, ok := fc.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	key, _, ok := fc.canon(sel.X)
+	if !ok {
+		return "", 0, false
+	}
+	return key, op, true
+}
+
+// applyLockOp mutates the fact for one lock operation (no reporting).
+func (fc *funcCtx) applyLockOp(fact *lockFact, key string, op int) {
+	switch op {
+	case opLock:
+		fact.must[key] = true
+		fact.may[key] = true
+	case opUnlock:
+		delete(fact.must, key)
+		delete(fact.may, key)
+		delete(fact.defU, key)
+	case opRLock:
+		fact.must[key+readSuffix] = true
+		fact.may[key+readSuffix] = true
+	case opRUnlock:
+		delete(fact.must, key+readSuffix)
+		delete(fact.may, key+readSuffix)
+		delete(fact.defU, key+readSuffix)
+	}
+}
+
+// applyDefer records deferred unlocks, both direct (defer mu.Unlock()) and
+// inside deferred closures.
+func (fc *funcCtx) applyDefer(d *ast.DeferStmt, fact *lockFact) {
+	if key, op, ok := fc.lockOp(d.Call); ok {
+		switch op {
+		case opUnlock:
+			fact.defU[key] = true
+		case opRUnlock:
+			fact.defU[key+readSuffix] = true
+		}
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, op, ok := fc.lockOp(call); ok {
+				switch op {
+				case opUnlock:
+					fact.defU[key] = true
+				case opRUnlock:
+					fact.defU[key+readSuffix] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- reporting ----
+
+// checkNode emits findings for one node during the report pass; fact holds
+// the state just before the node's own effects.
+func (fc *funcCtx) checkNode(fact *lockFact, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		if key, op, ok := fc.lockOp(x); ok {
+			fc.checkLockOp(fact, x, key, op)
+			return
+		}
+		fc.checkCallSite(fact, x)
+	case *ast.SelectorExpr:
+		fc.checkGuardedAccess(fact, x)
+	case *ast.FuncLit:
+		// Closures invoked where they are defined (sort.Slice and friends)
+		// inherit the lock state at the definition point; goroutine bodies
+		// are handled by the GoStmt case below with an empty entry.
+		entry := &lockFact{must: copySet(fact.must), may: copySet(fact.may), defU: make(map[string]bool)}
+		fc.analyzeBody(x.Body, entry, false)
+	case *ast.GoStmt:
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			fc.analyzeBody(lit.Body, newLockFact(), false)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			entry := &lockFact{must: copySet(fact.must), may: copySet(fact.may), defU: make(map[string]bool)}
+			fc.analyzeBody(lit.Body, entry, false)
+		}
+	}
+}
+
+// checkLockOp reports double-lock and unlock-without-lock.
+func (fc *funcCtx) checkLockOp(fact *lockFact, call *ast.CallExpr, key string, op int) {
+	switch op {
+	case opLock:
+		if fact.may[key] {
+			fc.an.addFinding(call.Pos(),
+				"Lock of %s while it may already be held (self-deadlock)", key)
+		}
+	case opRLock:
+		if fact.may[key] {
+			fc.an.addFinding(call.Pos(),
+				"RLock of %s while its write lock may be held (self-deadlock)", key)
+		}
+	case opUnlock:
+		if !fact.may[key] {
+			fc.an.addFinding(call.Pos(), "Unlock of %s which is not held", key)
+		} else if !fact.must[key] {
+			fc.an.addFinding(call.Pos(),
+				"Unlock of %s which is not held on every path to this point", key)
+		}
+	case opRUnlock:
+		rk := key + readSuffix
+		if !fact.may[rk] {
+			fc.an.addFinding(call.Pos(), "RUnlock of %s which is not read-held", key)
+		} else if !fact.must[rk] {
+			fc.an.addFinding(call.Pos(),
+				"RUnlock of %s which is not read-held on every path to this point", key)
+		}
+	}
+}
+
+// checkCallSite verifies //iocov:locked requirements and the
+// deadlock-via-self-locking-call pattern.
+func (fc *funcCtx) checkCallSite(fact *lockFact, call *ast.CallExpr) {
+	callee := fc.calleeOf(call)
+	if callee == nil || callee == fc.obj {
+		return
+	}
+	calleeCtx := fc.an.funcs[callee]
+	if calleeCtx != nil {
+		for _, key := range calleeCtx.fa.locked {
+			if !fc.callerHoldsCalleeKey(call, callee, key, fact) {
+				fc.an.addFinding(call.Pos(),
+					"call to %s requires %s held at entry (//iocov:locked), but it is not held on every path here",
+					callee.Name(), key)
+			}
+		}
+	}
+	// Deadlock: callee's entry block takes a lock this caller may hold.
+	for m := range fc.an.calleeEntryLocks(callee) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		base, _, ok := fc.canon(sel.X)
+		if !ok {
+			continue
+		}
+		if fact.may[base+"."+m] {
+			fc.an.addFinding(call.Pos(),
+				"call to %s, whose entry acquires %s.%s, while it may already be held (deadlock)",
+				callee.Name(), base, m)
+		}
+	}
+}
+
+// calleeEntryLocks returns the receiver mutex field names a method's entry
+// block unconditionally acquires (cached).
+func (an *lockAnalysis) calleeEntryLocks(callee *types.Func) map[string]bool {
+	if locks, ok := an.entryLocks[callee]; ok {
+		return locks
+	}
+	locks := make(map[string]bool)
+	an.entryLocks[callee] = locks
+	fc := an.funcs[callee]
+	if fc == nil || fc.recvName == "" {
+		return locks
+	}
+	fc.prepare()
+	entry := fc.cfg.Blocks[0]
+	for _, node := range entry.Nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, op, ok := fc.lockOp(call); ok && op == opLock {
+				if rest, found := strings.CutPrefix(key, fc.recvName+"."); found && !strings.Contains(rest, ".") {
+					locks[rest] = true
+				}
+			}
+			return true
+		})
+	}
+	return locks
+}
+
+// checkGuardedAccess verifies one selector against the guard table.
+func (fc *funcCtx) checkGuardedAccess(fact *lockFact, sel *ast.SelectorExpr) {
+	selection, ok := fc.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := fc.an.guards[field]
+	if !guarded {
+		return
+	}
+	ownerPath, rootVar, ok := fc.canon(sel.X)
+	if !ok {
+		return // outside the canonicalizer's soundness boundary
+	}
+	if rootVar != nil && fc.fresh[rootVar] {
+		return // freshly allocated, unshared object
+	}
+	key := ownerPath + "." + guard.mutex
+	write := fc.writes[sel]
+	held := fact.must[key]
+	if !write && guard.rw {
+		held = held || fact.must[key+readSuffix]
+	}
+	if held {
+		return
+	}
+	verb := "read"
+	want := key
+	if write {
+		verb = "written"
+	} else if guard.rw {
+		want = key + " (or its read lock)"
+	}
+	suffix := ""
+	if fact.may[key] {
+		suffix = " on every path to this access"
+	} else if fc.an.pessimized[fc.obj] {
+		suffix = " (not all call sites of this helper hold the lock; annotate //iocov:locked or fix the callers)"
+	}
+	fc.an.addFinding(sel.Sel.Pos(),
+		"guarded field %s.%s %s without holding %s%s",
+		ownerPath, field.Name(), verb, want, suffix)
+}
+
+// checkExit reports lock leaks at every edge into the synthetic exit block.
+func (fc *funcCtx) checkExit(b *Block, fact *lockFact) {
+	if fc.cfg == nil || !hasExitSucc(b, fc.cfg.Exit) {
+		return
+	}
+	pos := fc.exitPos(b)
+	// A deferred unlock must cover a lock actually held when the function
+	// leaves.
+	for k := range fact.defU {
+		if !fact.may[k] {
+			fc.an.addFinding(pos,
+				"deferred Unlock of %s runs at exit where the lock is not held", displayKey(k))
+		}
+	}
+	for k := range fact.may {
+		if fact.defU[k] || fc.entryMust[k] {
+			continue
+		}
+		fc.an.addFinding(pos,
+			"%s may still be held at function exit (lock leak on a return or panic path)", displayKey(k))
+	}
+	// Annotated helpers must return with their contract lock still held
+	// (the contract binds the declaration's own body, not its closures).
+	if fc.topLevel {
+		for _, k := range fc.fa.locked {
+			if !fact.must[k] || fact.defU[k] {
+				fc.an.addFinding(pos,
+					"function is //iocov:locked %s but releases it before returning", k)
+			}
+		}
+	}
+}
+
+func displayKey(k string) string {
+	if strings.HasSuffix(k, readSuffix) {
+		return "read lock of " + strings.TrimSuffix(k, readSuffix)
+	}
+	return k
+}
+
+func hasExitSucc(b *Block, exit *Block) bool {
+	for _, s := range b.Succs {
+		if s == exit {
+			return true
+		}
+	}
+	return false
+}
+
+// exitPos picks the best position for an exit finding: the block's last
+// node, else the function end.
+func (fc *funcCtx) exitPos(b *Block) token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1].Pos()
+	}
+	return fc.decl.End()
+}

@@ -1,0 +1,56 @@
+package lint
+
+import "testing"
+
+// TestLockCheckBadFixture pins every seeded guard-discipline violation to
+// its line: one finding per rule, nothing extra.
+func TestLockCheckBadFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "lockcheck_bad")
+	findings := NewLockCheck().Run(tgt)
+
+	wants := []struct {
+		anchor string // unique fixture text on the expected line
+		msg    string // substring of the finding message
+	}{
+		{"return c.n // want: read", "guarded field c.n read without holding c.mu"},
+		{"c.n = v * 2", "guarded field c.n written without holding c.mu"},
+		{"c.n++ // want: not held on every path", "c.mu on every path to this access"},
+		{"c.mu.Lock() // want: may already be held", "Lock of c.mu while it may already be held (self-deadlock)"},
+		{"c.mu.Unlock() // want: not held", "Unlock of c.mu which is not held"},
+		{"c.n = v + 1", "c.mu may still be held at function exit"},
+		{"c.mu.Unlock() // want: not held on every path", "Unlock of c.mu which is not held on every path"},
+		{"defer c.mu.Unlock() // want (at exit)", "deferred Unlock of c.mu runs at exit where the lock is not held"},
+		{"return c.Total()", "call to Total, whose entry acquires c.mu, while it may already be held (deadlock)"},
+		{"c.incrLocked()", "call to incrLocked requires c.mu held at entry"},
+		{"c.mu.Unlock() // want (at exit): releases", "//iocov:locked c.mu but releases it before returning"},
+		{"misses  int", `names "nosuch"`},
+		{"r.entries[k]++", "guarded field r.entries written without holding r.mu"},
+		{"return r.entries[k]", "guarded field r.entries read without holding r.mu (or its read lock)"},
+		{"r.mu.RLock() // want", "RLock of r.mu while its write lock may be held"},
+		{"g.v++", "not all call sites of this helper hold the lock"},
+	}
+	for _, w := range wants {
+		f := requireFinding(t, findings, w.msg)
+		if wantLine := fixtureLine(t, "lockcheck_bad/bad.go", w.anchor); f.Pos.Line != wantLine {
+			t.Errorf("finding %q at line %d, want line %d (%s)", w.msg, f.Pos.Line, wantLine, w.anchor)
+		}
+	}
+	if len(findings) != len(wants) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("lockcheck_bad produced %d findings, want %d", len(findings), len(wants))
+	}
+}
+
+// TestLockCheckGoodFixture demands silence on the correct idioms: defer
+// unlock, branch-balanced explicit unlock, fresh-root construction,
+// annotated and inferred locked helpers (including mutual recursion),
+// RWMutex read paths, closures under the caller's lock, goroutines taking
+// their own lock, and the blank-line group boundary.
+func TestLockCheckGoodFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "lockcheck_good")
+	for _, f := range NewLockCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

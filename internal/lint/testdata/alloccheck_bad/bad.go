@@ -1,0 +1,130 @@
+// Package alloccheck_bad seeds one hot-path allocation per alloccheck rule;
+// the test pins each finding to its line.
+package alloccheck_bad
+
+import "fmt"
+
+type item struct {
+	k string
+	v int
+}
+
+type sink interface{ accept(interface{}) }
+
+// Hot carries the receiver-owned storage the clean methods would use.
+type Hot struct {
+	buf  [8]int
+	n    int
+	seen map[string]bool
+}
+
+// CollectKeys appends into a local slice, which grows on the heap.
+//
+//iocov:hotpath
+func (h *Hot) CollectKeys() []string {
+	var out []string
+	for k := range h.seen {
+		out = append(out, k) // want: append to local
+	}
+	return out
+}
+
+// MakeSlice allocates directly.
+//
+//iocov:hotpath
+func (h *Hot) MakeSlice(n int) []int {
+	return make([]int, n) // want: make
+}
+
+// NewItem allocates with new.
+//
+//iocov:hotpath
+func NewItem() *item {
+	return new(item) // want: new
+}
+
+// MapLiteral allocates backing storage for the map.
+//
+//iocov:hotpath
+func MapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want: map literal
+}
+
+// SliceLiteral allocates backing storage for the slice.
+//
+//iocov:hotpath
+func SliceLiteral() []int {
+	return []int{1, 2, 3} // want: slice literal
+}
+
+// Escape forces the composite literal onto the heap.
+//
+//iocov:hotpath
+func Escape() *item {
+	return &item{k: "x"} // want: address of composite literal
+}
+
+// Closure allocates the function value and its captured environment.
+//
+//iocov:hotpath
+func Closure(n int) func() int {
+	return func() int { return n } // want: closure
+}
+
+// Spawn allocates a goroutine stack.
+//
+//iocov:hotpath
+func (h *Hot) Spawn() {
+	go h.MakeSlice(1) // want: goroutine
+}
+
+// Concat builds a new string.
+//
+//iocov:hotpath
+func Concat(a, b string) string {
+	return a + b // want: string concatenation
+}
+
+// ConcatAssign builds a new string on every iteration.
+//
+//iocov:hotpath
+func ConcatAssign(parts []string) string {
+	var s string
+	for _, p := range parts {
+		s += p // want: string concatenation (assign)
+	}
+	return s
+}
+
+// Convert copies the byte slice into a fresh string.
+//
+//iocov:hotpath
+func Convert(b []byte) string {
+	return string(b) // want: string conversion
+}
+
+// Format goes through fmt's reflection-based formatter.
+//
+//iocov:hotpath
+func Format(v int) string {
+	return fmt.Sprintf("%d", v) // want: calls fmt.Sprintf
+}
+
+// Box passes a concrete int where the parameter is an interface.
+//
+//iocov:hotpath
+func Box(s sink, v int) {
+	s.accept(v) // want: interface boxing
+}
+
+// helper is not annotated, but CallsHelper makes it hot-reachable.
+func (h *Hot) helper() []int {
+	return make([]int, 8) // want: reachable make
+}
+
+// CallsHelper pulls helper into the hot set.
+//
+//iocov:hotpath
+func (h *Hot) CallsHelper() []int {
+	return h.helper()
+}

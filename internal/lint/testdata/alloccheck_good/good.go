@@ -1,0 +1,119 @@
+// Package alloccheck_good exercises every allowed hot-path idiom the live
+// tree uses; alloccheck must stay silent on all of it.
+package alloccheck_good
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+type sink interface{ accept(int) }
+
+// Fast mirrors the live zero-allocation shapes: fixed inline storage, a
+// lazily allocated spill map, and an atomic counter.
+type Fast struct {
+	buf   [8]int
+	n     int
+	cache map[string]int
+	seq   atomic.Uint64
+}
+
+// Fill appends only into the caller-owned scratch buffer.
+//
+//iocov:hotpath
+func Fill(v int, scratch []int) []int {
+	if v > 0 {
+		scratch = append(scratch, v)
+	}
+	return append(scratch, 0)
+}
+
+// Record spills lazily: the make sits inside a nil guard, so it amortizes
+// to zero; the map write itself is allowed.
+//
+//iocov:hotpath
+func (f *Fast) Record(k string, v int) {
+	if f.cache == nil {
+		f.cache = make(map[string]int, 4)
+	}
+	f.cache[k] = v
+}
+
+// Emit calls through an interface: a checked boundary (the implementation
+// carries its own annotation), and the int argument needs no boxing.
+//
+//iocov:hotpath
+func (f *Fast) Emit(s sink) {
+	s.accept(f.n)
+}
+
+// Push stays within the fixed inline array.
+//
+//iocov:hotpath
+func (f *Fast) Push(v int) {
+	if f.n < len(f.buf) {
+		f.buf[f.n] = v
+		f.n++
+	}
+}
+
+// Grow appends to receiver-rooted storage: part of the amortized contract,
+// same as the caller-owned scratch rule.
+//
+//iocov:hotpath
+func (f *Fast) Grow(extra []int) {
+	for range extra {
+		f.n++
+	}
+}
+
+// Stamp uses an atomic method: an external call outside the denylist.
+//
+//iocov:hotpath
+func (f *Fast) Stamp() uint64 {
+	return f.seq.Add(1)
+}
+
+// Classify calls non-allocating strings helpers and converts numerics.
+//
+//iocov:hotpath
+func Classify(name string, v int64) int {
+	if strings.HasPrefix(name, "sys_") {
+		return int(uint32(v))
+	}
+	return 0
+}
+
+// rebuild is an acknowledged slow path: traversal stops at the annotation
+// even though it allocates freely.
+//
+//iocov:coldpath
+func (f *Fast) rebuild() {
+	f.cache = make(map[string]int, f.n)
+}
+
+// Reset may call the cold path; the annotation is the boundary.
+//
+//iocov:hotpath
+func (f *Fast) Reset() {
+	f.rebuild()
+}
+
+// half is hot-reachable and clean.
+func half(v int) int { return v / 2 }
+
+// Halve traverses into an unannotated clean helper.
+//
+//iocov:hotpath
+func (f *Fast) Halve() int { return half(f.n) }
+
+// Literal builds a value struct literal: stack-allocated, allowed.
+//
+//iocov:hotpath
+func Literal(k string, v int) [2]int {
+	_ = struct {
+		k string
+		v int
+	}{k, v}
+	return [2]int{v, v}
+}

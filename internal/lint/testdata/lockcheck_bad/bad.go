@@ -1,0 +1,158 @@
+// Package lockcheck_bad seeds exactly one guard-discipline violation per
+// lockcheck rule; the test pins each finding to its line.
+package lockcheck_bad
+
+import "sync"
+
+// Counter relies on adjacency inference: mu guards n and last.
+type Counter struct {
+	name string
+
+	mu   sync.Mutex
+	n    int
+	last string
+}
+
+// ReadNoLock reads a guarded field with no lock held.
+func (c *Counter) ReadNoLock() int {
+	return c.n // want: read without holding c.mu
+}
+
+// WriteNoLock writes a guarded field with no lock held.
+func (c *Counter) WriteNoLock(v int) {
+	c.n = v * 2 // want: written without holding c.mu
+}
+
+// RacyIncrement only locks on one branch, so the increment is unprotected
+// on the other.
+func (c *Counter) RacyIncrement(b bool) {
+	if b {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want: not held on every path
+}
+
+// DoubleLock takes the same mutex twice: guaranteed self-deadlock.
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want: may already be held
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// UnlockFirst releases a mutex that was never taken.
+func (c *Counter) UnlockFirst() {
+	c.mu.Unlock() // want: not held
+}
+
+// Leak returns with the lock still held and no deferred unlock.
+func (c *Counter) Leak(v int) {
+	c.mu.Lock()
+	c.n = v + 1 // want (at exit): lock leak
+}
+
+// HalfUnlock pairs the unlock with a lock on only one branch.
+func (c *Counter) HalfUnlock(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n = 7
+	}
+	c.mu.Unlock() // want: not held on every path to this point
+}
+
+// DeferNoLock defers an unlock for a lock never taken.
+func (c *Counter) DeferNoLock() {
+	defer c.mu.Unlock() // want (at exit): deferred Unlock where not held
+}
+
+// Total is self-locking: its entry takes c.mu.
+func (c *Counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// AddAndTotal calls the self-locking Total while already holding the lock.
+func (c *Counter) AddAndTotal(v int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += v
+	return c.Total() // want: deadlock
+}
+
+// incrLocked declares the caller-holds-lock contract.
+//
+//iocov:locked c.mu
+func (c *Counter) incrLocked() {
+	c.n++
+}
+
+// CallsLockedWithout ignores the //iocov:locked contract.
+func (c *Counter) CallsLockedWithout() {
+	c.incrLocked() // want: requires c.mu held at entry
+}
+
+// badRelease breaks the //iocov:locked contract from the inside: the
+// caller's lock is gone when it returns.
+//
+//iocov:locked c.mu
+func (c *Counter) badRelease() {
+	c.n--
+	c.mu.Unlock() // want (at exit): releases it before returning
+}
+
+// Registry opts into explicit annotations, one of which names a field that
+// is not a mutex.
+type Registry struct {
+	mu    sync.RWMutex
+	clock sync.Mutex
+
+	entries map[string]int //iocov:guarded-by mu
+	misses  int            //iocov:guarded-by nosuch
+}
+
+// BumpUnderRead mutates with only the read lock held.
+func (r *Registry) BumpUnderRead(k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.entries[k]++ // want: written without holding r.mu
+}
+
+// PeekNoLock reads with neither the write nor the read lock.
+func (r *Registry) PeekNoLock(k string) int {
+	return r.entries[k] // want: read without holding r.mu (or its read lock)
+}
+
+// ReadUnderWrite upgrades wrongly: RLock while the write lock is held.
+func (r *Registry) ReadUnderWrite() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.RLock() // want: RLock while write lock may be held
+	n := len(r.entries)
+	r.mu.RUnlock()
+	return n
+}
+
+// Gauge's helper loses its locked-on-entry inference because one call site
+// skips the lock.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Gauge) bump() {
+	g.v++ // want: not all call sites of this helper hold the lock
+}
+
+// Careful holds the lock around the helper.
+func (g *Gauge) Careful() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bump()
+}
+
+// Careless calls the same helper bare, pessimizing the inference.
+func (g *Gauge) Careless() {
+	g.bump()
+}

@@ -1,0 +1,151 @@
+// Package lockcheck_good exercises every correct locking idiom the live
+// tree uses; lockcheck must stay silent on all of it.
+package lockcheck_good
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store relies on adjacency inference: mu guards data and touched.
+type Store struct {
+	name string
+
+	mu      sync.Mutex
+	data    map[string]int
+	touched int
+}
+
+// NewStore writes guarded fields on a freshly allocated, unshared value:
+// the fresh-root exemption applies.
+func NewStore(name string) *Store {
+	s := &Store{name: name}
+	s.data = make(map[string]int)
+	s.touched = 0
+	return s
+}
+
+// Set uses the canonical lock/defer-unlock pairing.
+func (s *Store) Set(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+	s.touched++
+}
+
+// Get unlocks explicitly on both the early-return and fall-through paths.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// bump is inferred locked-on-entry: every static call site holds s.mu.
+func (s *Store) bump(k string) {
+	s.data[k]++
+}
+
+// bumpAll and bumpOne are mutually recursive; the optimistic fixpoint keeps
+// both locked-on-entry because the only external caller holds the lock.
+func (s *Store) bumpAll(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	s.bumpOne(keys[0], keys[1:])
+}
+
+func (s *Store) bumpOne(k string, rest []string) {
+	s.data[k]++
+	s.bumpAll(rest)
+}
+
+// Touch drives the inferred helpers under the lock.
+func (s *Store) Touch(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.bump(k)
+	}
+	s.bumpAll(keys)
+}
+
+// sortLocked declares its contract; the sort closure reads guarded state
+// under the caller's lock.
+//
+//iocov:locked s.mu
+func (s *Store) sortLocked(keys []string) {
+	sort.Slice(keys, func(i, j int) bool {
+		return s.data[keys[i]] < s.data[keys[j]]
+	})
+}
+
+// Keys snapshots and sorts entirely under the lock.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	s.sortLocked(out)
+	return out
+}
+
+// Stats pairs reads with the read lock and writes with the write lock.
+type Stats struct {
+	rw     sync.RWMutex
+	counts map[string]int
+}
+
+// Hit takes the write lock for the mutation.
+func (t *Stats) Hit(k string) {
+	t.rw.Lock()
+	t.counts[k]++
+	t.rw.Unlock()
+}
+
+// Snapshot reads under RLock only.
+func (t *Stats) Snapshot() map[string]int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	out := make(map[string]int, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Worker's blank line ends the guarded group: results is deliberately
+// outside mu's protection (set once before Run).
+type Worker struct {
+	mu    sync.Mutex
+	queue []string
+
+	results map[string]int
+}
+
+// Enqueue mutates the guarded slice under the lock.
+func (w *Worker) Enqueue(k string) {
+	w.mu.Lock()
+	w.queue = append(w.queue, k)
+	w.mu.Unlock()
+}
+
+// Results reads the unguarded group without a lock: no finding.
+func (w *Worker) Results() map[string]int {
+	return w.results
+}
+
+// Run's goroutine body starts with no locks and takes its own.
+func (w *Worker) Run() {
+	go func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.queue = w.queue[:0]
+	}()
+}

@@ -65,6 +65,8 @@ func Log2Label(k int) string {
 // power-of-two bucket, so Log2Bucket returns the sentinel -1 for them
 // (rather than letting uint64 wraparound misclassify a negative into
 // bucket 63).
+//
+//iocov:hotpath
 func Log2Bucket(v int64) int {
 	if v <= 0 {
 		return -1
@@ -171,6 +173,8 @@ func numericIndex(v int64) int {
 }
 
 // PartitionIndices implements Indexer.
+//
+//iocov:hotpath
 func (BytesScheme) PartitionIndices(v int64, scratch []int) []int {
 	return append(scratch, numericIndex(v))
 }
@@ -206,6 +210,8 @@ func (OffsetScheme) Domain() []string {
 }
 
 // PartitionIndices implements Indexer.
+//
+//iocov:hotpath
 func (OffsetScheme) PartitionIndices(v int64, scratch []int) []int {
 	return append(scratch, numericIndex(v))
 }
@@ -278,6 +284,8 @@ var openFlagOrds = func() (t struct {
 
 // PartitionIndices implements Indexer, mirroring sys.DecodeOpenFlags without
 // allocating label slices.
+//
+//iocov:hotpath
 func (openFlagsScheme) PartitionIndices(v int64, scratch []int) []int {
 	flags := int(v)
 	switch flags & sys.O_ACCMODE {
@@ -336,6 +344,8 @@ func (modeBitsScheme) Domain() []string {
 // PartitionIndices implements Indexer: the domain is "=0" at ordinal 0
 // followed by sys.ModeBitNames in order, and sys.DecodeModeBits walks the
 // bits in that same order.
+//
+//iocov:hotpath
 func (modeBitsScheme) PartitionIndices(v int64, scratch []int) []int {
 	n := len(scratch)
 	for i, b := range sys.ModeBitNames {
@@ -367,6 +377,8 @@ func (whenceScheme) Domain() []string {
 
 // PartitionIndices implements Indexer: whence values index the domain
 // directly, with the trailing "invalid" ordinal for out-of-range values.
+//
+//iocov:hotpath
 func (whenceScheme) PartitionIndices(v int64, scratch []int) []int {
 	if v >= 0 && v < int64(len(sys.WhenceNames)) {
 		return append(scratch, int(v))
@@ -395,6 +407,8 @@ func (xattrFlagsScheme) Domain() []string {
 
 // PartitionIndices implements Indexer: the three legal values index the
 // domain directly (XATTR_CREATE = 1, XATTR_REPLACE = 2).
+//
+//iocov:hotpath
 func (xattrFlagsScheme) PartitionIndices(v int64, scratch []int) []int {
 	switch v {
 	case 0, sys.XATTR_CREATE, sys.XATTR_REPLACE:
@@ -481,6 +495,8 @@ func NewOutputIndexer(spec *sysspec.Spec) *OutputIndexer {
 
 // Index returns the OutputDomain ordinal for one outcome, mirroring Output.
 // ok is false for an errno the spec does not document.
+//
+//iocov:hotpath
 func (x *OutputIndexer) Index(retVal int64, err sys.Errno) (idx int, ok bool) {
 	if err != sys.OK {
 		idx, ok = x.errno[err]
@@ -515,6 +531,8 @@ var openFlagSimpleMask = func() int {
 // (the access mode counts as one flag, so the minimum is 1). Table 1 is
 // built from this. It equals len(sys.DecodeOpenFlags(flags)) but performs
 // no allocation.
+//
+//iocov:hotpath
 func FlagComboSize(flags int64) int {
 	f := int(flags)
 	n := 1 + bits.OnesCount(uint(f&openFlagSimpleMask))
@@ -529,6 +547,8 @@ func FlagComboSize(flags int64) int {
 
 // HasRdonly reports whether the flags word's access mode is O_RDONLY, which
 // is how Table 1's "O_RDONLY" rows restrict combinations.
+//
+//iocov:hotpath
 func HasRdonly(flags int64) bool {
 	return int(flags)&sys.O_ACCMODE == sys.O_RDONLY
 }

@@ -17,12 +17,14 @@ import (
 // snapshot, so a restarted daemon picks up exactly where the last
 // checkpoint left it.
 type Store struct {
-	mu         sync.Mutex
+	// opts and maxNumeric are fixed at construction.
 	opts       coverage.Options
 	maxNumeric int
-	live       *coverage.Analyzer
-	baseline   *coverage.Snapshot
-	sessions   int64
+
+	mu       sync.Mutex
+	live     *coverage.Analyzer //iocov:guarded-by mu
+	baseline *coverage.Snapshot //iocov:guarded-by mu
+	sessions int64              //iocov:guarded-by mu
 }
 
 // NewStore builds an empty store. maxNumeric is the numeric-domain

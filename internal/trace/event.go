@@ -66,6 +66,8 @@ type strPair struct {
 
 // AddArg records a numeric argument, using inline storage while it lasts
 // and spilling to the Args map past capacity.
+//
+//iocov:hotpath
 func (e *Event) AddArg(name string, v int64) {
 	if int(e.nargs) < len(e.iargs) {
 		e.iargs[e.nargs] = argPair{name, v}
@@ -80,6 +82,8 @@ func (e *Event) AddArg(name string, v int64) {
 
 // AddStr records a string argument, using inline storage while it lasts
 // and spilling to the Strs map past capacity.
+//
+//iocov:hotpath
 func (e *Event) AddStr(name, v string) {
 	if int(e.nstrs) < len(e.istrs) {
 		e.istrs[e.nstrs] = strPair{name, v}
@@ -93,6 +97,8 @@ func (e *Event) AddStr(name, v string) {
 }
 
 // Arg returns a numeric argument and whether it was recorded.
+//
+//iocov:hotpath
 func (e *Event) Arg(name string) (int64, bool) {
 	for i := 0; i < int(e.nargs); i++ {
 		if e.iargs[i].name == name {
@@ -104,6 +110,8 @@ func (e *Event) Arg(name string) (int64, bool) {
 }
 
 // Str returns a string argument and whether it was recorded.
+//
+//iocov:hotpath
 func (e *Event) Str(name string) (string, bool) {
 	for i := 0; i < int(e.nstrs); i++ {
 		if e.istrs[i].name == name {
@@ -222,4 +230,6 @@ type CountingSink struct {
 }
 
 // Emit increments the counter.
+//
+//iocov:hotpath
 func (c *CountingSink) Emit(Event) { c.N++ }

@@ -98,6 +98,8 @@ var fdSyscalls = map[string]bool{
 // Keep decides whether ev belongs to the filesystem under test, updating the
 // reconstructed fd table as a side effect. Events must be offered in trace
 // order.
+//
+//iocov:hotpath
 func (f *Filter) Keep(ev Event) bool {
 	keep := f.classify(ev)
 	if keep {
@@ -217,6 +219,8 @@ type FilteringSink struct {
 }
 
 // Emit forwards ev when the filter keeps it.
+//
+//iocov:hotpath
 func (s *FilteringSink) Emit(ev Event) {
 	if s.F.Keep(ev) {
 		s.Next.Emit(ev)

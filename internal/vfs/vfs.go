@@ -140,9 +140,12 @@ func DefaultConfig() Config {
 // concurrent use; a single mutex serializes operations, matching the
 // granularity IOCov needs (argument/return observation, not scalability).
 type FS struct {
+	// root is set once in New and immutable afterwards; the inode tree it
+	// anchors is guarded by mu like all other mutable state.
+	root *Inode
+
 	mu      sync.Mutex
 	cfg     Config
-	root    *Inode
 	nextIno uint64
 	// clock is the logical timestamp source; it ticks on every operation
 	// that stamps a time.
@@ -202,8 +205,14 @@ func New(cfg Config) *FS {
 	return fs
 }
 
-// Config returns a copy of the filesystem's configuration.
-func (fs *FS) Config() Config { return fs.cfg }
+// Config returns a copy of the filesystem's configuration. It takes the
+// lock: SetReadOnly mutates cfg.ReadOnly at remount, and an unlocked read
+// here races with it.
+func (fs *FS) Config() Config {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.cfg
+}
 
 // Root returns the root directory inode.
 func (fs *FS) Root() *Inode { return fs.root }

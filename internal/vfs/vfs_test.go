@@ -665,3 +665,29 @@ func TestBlockAccounting(t *testing.T) {
 		t.Errorf("blocks after unlink = %d, want %d", got, before)
 	}
 }
+
+// TestConfigRemountRace pins the Config/SetReadOnly locking (found by
+// lockcheck): both run concurrently here, so the -race lane catches any
+// regression to the old unlocked cfg read.
+func TestConfigRemountRace(t *testing.T) {
+	fs := newFS(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			fs.SetReadOnly(i%2 == 0)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = fs.Config()
+	}
+	<-done
+	fs.SetReadOnly(true)
+	if !fs.Config().ReadOnly {
+		t.Fatal("Config did not observe SetReadOnly(true)")
+	}
+	fs.SetReadOnly(false)
+	if fs.Config().ReadOnly {
+		t.Fatal("Config did not observe SetReadOnly(false)")
+	}
+}
