@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"iocov/internal/partition"
 	"iocov/internal/sysspec"
@@ -151,6 +152,55 @@ type ComboStats struct {
 	Rdonly map[int]int64
 }
 
+// Shared immutable lookup structures. A syscall table, an output indexer,
+// and a scheme indexer are all read-only after construction, but they used
+// to be rebuilt for every analyzer — a real cost for the ingest daemon,
+// which creates one analyzer per session and paid the spec compilation
+// again on each stream. Built once, shared by every analyzer.
+var (
+	stdTableOnce, extTableOnce sync.Once
+	stdTable, extTable         *sysspec.Table
+
+	// outputIndexers caches compiled output domains per spec (the spec
+	// pointers are themselves process-wide statics from sysspec).
+	outputIndexers sync.Map // *sysspec.Spec -> *partition.OutputIndexer
+
+	// schemeIndexers caches the per-scheme indexer and its materialized
+	// label domain.
+	schemeIndexers sync.Map // scheme string -> schemeIndexer
+)
+
+type schemeIndexer struct {
+	idx    partition.Indexer
+	labels []string
+}
+
+func sharedTable(extended bool) *sysspec.Table {
+	if extended {
+		extTableOnce.Do(func() { extTable = sysspec.NewExtendedTable() })
+		return extTable
+	}
+	stdTableOnce.Do(func() { stdTable = sysspec.NewTable() })
+	return stdTable
+}
+
+func sharedOutputIndexer(spec *sysspec.Spec) *partition.OutputIndexer {
+	if x, ok := outputIndexers.Load(spec); ok {
+		return x.(*partition.OutputIndexer)
+	}
+	x, _ := outputIndexers.LoadOrStore(spec, partition.NewOutputIndexer(spec))
+	return x.(*partition.OutputIndexer)
+}
+
+func sharedSchemeIndexer(scheme string) schemeIndexer {
+	if si, ok := schemeIndexers.Load(scheme); ok {
+		return si.(schemeIndexer)
+	}
+	idx := partition.IndexerForScheme(scheme)
+	si, _ := schemeIndexers.LoadOrStore(scheme, schemeIndexer{idx: idx, labels: idx.Domain()})
+	return si.(schemeIndexer)
+}
+
 // NewAnalyzer builds an analyzer over the standard syscall table (or the
 // extended one, with Options.ExtendedSyscalls).
 func NewAnalyzer(opts Options) *Analyzer {
@@ -160,10 +210,7 @@ func NewAnalyzer(opts Options) *Analyzer {
 	if opts.CombinationCap <= 0 {
 		opts.CombinationCap = 4096
 	}
-	table := sysspec.NewTable()
-	if opts.ExtendedSyscalls {
-		table = sysspec.NewExtendedTable()
-	}
+	table := sharedTable(opts.ExtendedSyscalls)
 	return &Analyzer{
 		table:     table,
 		opts:      opts,
@@ -198,6 +245,15 @@ func (a *Analyzer) Add(ev trace.Event) {
 	if !seen {
 		e = a.compile(ev.Name)
 	}
+	a.addCompiled(e, &ev)
+}
+
+// addCompiled is the shared per-event body behind Add and Batch.Add: the
+// dispatch entry is already resolved (nil marks an out-of-scope syscall),
+// and the event arrives by pointer so the batch path never copies it.
+//
+//iocov:hotpath
+func (a *Analyzer) addCompiled(e *compiledEntry, ev *trace.Event) {
 	if e == nil {
 		a.skipped++
 		return
@@ -255,7 +311,7 @@ func (a *Analyzer) Add(ev trace.Event) {
 // format, so the hot path must not inline it.
 //
 //iocov:coldpath
-func (oc *OutputCounter) addExtra(ev trace.Event) {
+func (oc *OutputCounter) addExtra(ev *trace.Event) {
 	if oc.extra == nil {
 		oc.extra = make(map[string]int64)
 	}
@@ -311,17 +367,16 @@ func (a *Analyzer) argCounter(name string, arg *sysspec.ArgSpec) *ArgCounter {
 	k := argKey{name, arg.Name}
 	c := a.inputs[k]
 	if c == nil {
-		idx := partition.IndexerForScheme(arg.Scheme)
-		labels := idx.Domain()
+		si := sharedSchemeIndexer(arg.Scheme)
 		c = &ArgCounter{
 			Syscall: name,
 			Arg:     arg.Name,
 			Class:   arg.Class,
 			Scheme:  arg.Scheme,
-			part:    idx,
-			idx:     idx,
-			labels:  labels,
-			dense:   make([]int64, len(labels)),
+			part:    si.idx,
+			idx:     si.idx,
+			labels:  si.labels,
+			dense:   make([]int64, len(si.labels)),
 		}
 		a.inputs[k] = c
 	}
@@ -332,7 +387,7 @@ func (a *Analyzer) argCounter(name string, arg *sysspec.ArgSpec) *ArgCounter {
 func (a *Analyzer) outputCounter(name string, spec *sysspec.Spec) *OutputCounter {
 	oc := a.outputs[name]
 	if oc == nil {
-		out := partition.NewOutputIndexer(spec)
+		out := sharedOutputIndexer(spec)
 		oc = &OutputCounter{
 			Syscall: name,
 			spec:    spec,
@@ -380,7 +435,7 @@ func (c *OutputCounter) materialize() {
 }
 
 //iocov:coldpath
-func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev trace.Event) {
+func (a *Analyzer) addIdentifier(name string, arg *sysspec.ArgSpec, ev *trace.Event) {
 	k := argKey{name, arg.Name}
 	c := a.idents[k]
 	if c == nil {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"sync/atomic"
@@ -80,6 +81,9 @@ type Server struct {
 	sem     chan struct{}
 	seq     atomic.Uint64
 	started time.Time
+	// filterProto holds the compiled mount pattern; sessions clone fresh
+	// per-stream filter state from it instead of recompiling the regexp.
+	filterProto *trace.Filter
 }
 
 // New builds a Server, restoring the checkpoint file if one exists.
@@ -87,9 +91,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MountPattern == "" {
 		cfg.MountPattern = DefaultMountPattern
 	}
-	// Validate the pattern once up front; sessions compile their own
-	// stateful filter per connection.
-	if _, err := trace.NewFilter(cfg.MountPattern); err != nil {
+	// Compile the pattern once up front; sessions clone their own stateful
+	// filter from the prototype per connection.
+	proto, err := trace.NewFilter(cfg.MountPattern)
+	if err != nil {
 		return nil, fmt.Errorf("server: bad mount pattern: %w", err)
 	}
 	if cfg.MaxStreams <= 0 {
@@ -100,13 +105,14 @@ func New(cfg Config) (*Server, error) {
 		opts = *cfg.Options
 	}
 	s := &Server{
-		cfg:     cfg,
-		opts:    opts,
-		store:   NewStore(opts, cfg.SnapshotNumeric),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxStreams),
-		started: time.Now(),
+		cfg:         cfg,
+		opts:        opts,
+		store:       NewStore(opts, cfg.SnapshotNumeric),
+		metrics:     NewMetrics(),
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, cfg.MaxStreams),
+		started:     time.Now(),
+		filterProto: proto,
 	}
 	if cfg.CheckpointPath != "" {
 		if err := s.store.Restore(cfg.CheckpointPath); err != nil {
@@ -234,12 +240,44 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// handleIngest runs one streaming session: binary events are parsed as
-// they arrive (TCP flow control is the backpressure toward the sender),
+// declaredFormat extracts the client's advertised trace-format version
+// from the request: the X-Iocov-Format header, or a v= parameter on the
+// Content-Type (e.g. "application/x-iocov-trace; v=2"). 0 means the client
+// declared nothing (any supported version is accepted); -1 marks an
+// unparseable or unsupported declaration.
+func declaredFormat(r *http.Request) int {
+	decl := r.Header.Get("X-Iocov-Format")
+	if decl == "" {
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			if _, params, err := mime.ParseMediaType(ct); err == nil {
+				decl = params["v"]
+			}
+		}
+	}
+	switch decl {
+	case "":
+		return 0
+	case "1":
+		return 1
+	case "2":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// handleIngest runs one streaming session: binary events are batch-decoded
+// as they arrive (TCP flow control is the backpressure toward the sender),
 // filtered, analyzed into a session-local analyzer, and merged into the
 // global store only when the stream ends cleanly. Any decode failure
 // rejects the whole session and merges nothing, so a poisoned stream never
 // contaminates the aggregate.
+//
+// Decoding goes through trace.BatchDecoder + coverage.Batch: one reused
+// event, no per-event allocation, dictionary-ordinal dispatch into the
+// analyzer's dense counters. Both format versions are accepted; a client
+// that declares a version (X-Iocov-Format or a Content-Type v= parameter)
+// must stream a matching header.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "ingest requires POST")
@@ -273,16 +311,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	cr := &countingReader{r: body}
 	defer func() { s.metrics.BytesRead.Add(cr.n) }()
 
-	filter, err := trace.NewFilter(s.cfg.MountPattern)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "filter: %v", err)
+	filter := s.filterProto.Fresh()
+	declared := declaredFormat(r)
+	if declared < 0 {
+		httpError(w, http.StatusBadRequest, "session %s: unsupported trace format declaration", session)
 		return
 	}
 	an := coverage.NewAnalyzer(s.opts)
-	parser := trace.NewBinaryParser(cr)
+	batch := an.NewBatch()
+	dec := trace.NewBatchDecoder(cr)
+	if err := dec.ReadHeader(); err != nil {
+		s.metrics.SessionsFailed.Add(1)
+		httpError(w, ingestErrorStatus(err), "session %s rejected: %v", session, err)
+		return
+	}
+	if declared != 0 && declared != dec.Version() {
+		s.metrics.SessionsFailed.Add(1)
+		httpError(w, http.StatusBadRequest, "session %s rejected: declared format v%d but stream header is v%d",
+			session, declared, dec.Version())
+		return
+	}
 	var events int64
+	var ev trace.Event
 	for {
-		ev, err := parser.Next()
+		nameID, err := dec.Next(&ev)
 		if err == io.EOF {
 			break
 		}
@@ -294,10 +346,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		events++
-		if filter.Keep(ev) {
-			an.Add(ev)
+		if filter.KeepRef(&ev) {
+			batch.Add(&ev, nameID)
 		}
 	}
+	s.metrics.FormatSessions(dec.Version()).Add(1)
 	_, dropped := filter.Stats()
 	s.metrics.EventsIngested.Add(events)
 	s.metrics.EventsFiltered.Add(dropped)

@@ -59,11 +59,22 @@ func streamEvents(i int) []trace.Event {
 	return evs
 }
 
-// encodeStream serializes events in the binary trace format.
+// encodeStream serializes events in the binary trace format (v1).
 func encodeStream(t *testing.T, evs []trace.Event) []byte {
 	t.Helper()
+	return encodeStreamV(t, evs, 1)
+}
+
+// encodeStreamV serializes events in the requested format version.
+func encodeStreamV(t *testing.T, evs []trace.Event, version int) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w := trace.NewBinaryWriter(&buf)
+	var w *trace.BinaryWriter
+	if version >= 2 {
+		w = trace.NewBinaryWriterV2(&buf)
+	} else {
+		w = trace.NewBinaryWriter(&buf)
+	}
 	for _, ev := range evs {
 		w.Emit(ev)
 	}
@@ -120,12 +131,20 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 
 func ingest(t *testing.T, url string, session string, body []byte) (*http.Response, IngestResult) {
 	t.Helper()
+	return ingestHeaders(t, url, session, body, nil)
+}
+
+func ingestHeaders(t *testing.T, url string, session string, body []byte, headers map[string]string) (*http.Response, IngestResult) {
+	t.Helper()
 	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader(body))
 	if err != nil {
 		t.Fatalf("NewRequest: %v", err)
 	}
 	if session != "" {
 		req.Header.Set("X-Iocov-Session", session)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -313,6 +332,108 @@ func TestMalformedStreamPoisonsOnlySession(t *testing.T) {
 	}
 	if n := s.Store().Sessions(); n != 2 {
 		t.Errorf("merged sessions = %d, want 2", n)
+	}
+}
+
+// TestIngestEmptyBodyRejected: a zero-byte stream is NOT a valid empty
+// trace — the header is mandatory, so the session is rejected with 400 and
+// counted as failed. (Before the fix the decoder treated the missing header
+// as a clean EOF and the daemon merged an empty session.)
+func TestIngestEmptyBodyRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, _ := ingest(t, ts.URL, "empty", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: status %d, want 400", resp.StatusCode)
+	}
+	if n := s.Metrics().SessionsFailed.Load(); n != 1 {
+		t.Errorf("SessionsFailed = %d, want 1", n)
+	}
+	if n := s.Store().Sessions(); n != 0 {
+		t.Errorf("merged sessions = %d, want 0", n)
+	}
+}
+
+// TestIngestV1V2ReportByteIdentical is the version-negotiation acceptance
+// criterion: the same events ingested as v1 into one daemon and as v2 into
+// another must produce byte-identical /report snapshots — the format is
+// transport detail, never analysis input.
+func TestIngestV1V2ReportByteIdentical(t *testing.T) {
+	streams := [][]trace.Event{streamEvents(0), streamEvents(1), streamEvents(2)}
+
+	reports := make([][]byte, 2)
+	for vi, version := range []int{1, 2} {
+		s, ts := newTestServer(t, Config{})
+		for i, evs := range streams {
+			resp, res := ingestHeaders(t, ts.URL, fmt.Sprintf("v%d-%d", version, i),
+				encodeStreamV(t, evs, version),
+				map[string]string{"X-Iocov-Format": fmt.Sprintf("%d", version)})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("v%d stream %d: status %d", version, i, resp.StatusCode)
+			}
+			if res.Events != int64(len(evs)) {
+				t.Fatalf("v%d stream %d: events %d, want %d", version, i, res.Events, len(evs))
+			}
+		}
+		code, report := get(t, ts.URL+"/report")
+		if code != http.StatusOK {
+			t.Fatalf("v%d /report status %d", version, code)
+		}
+		reports[vi] = report
+		if n := s.Metrics().FormatSessions(version).Load(); n != int64(len(streams)) {
+			t.Errorf("v%d format sessions = %d, want %d", version, n, len(streams))
+		}
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Errorf("v1 and v2 /report differ\n  v1: %.400s\n  v2: %.400s", reports[0], reports[1])
+	}
+	if want := serialSnapshot(t, streams); !bytes.Equal(reports[0], want) {
+		t.Errorf("/report differs from serial reference\n got: %.400s\nwant: %.400s", reports[0], want)
+	}
+}
+
+// TestIngestFormatNegotiation pins the declaration rules: a declared
+// version must match the stream header, declarations ride either the
+// X-Iocov-Format header or a Content-Type v= parameter, an undeclared
+// stream accepts either version, and junk declarations are rejected.
+func TestIngestFormatNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	evs := streamEvents(0)
+	v1, v2 := encodeStreamV(t, evs, 1), encodeStreamV(t, evs, 2)
+
+	cases := []struct {
+		name    string
+		body    []byte
+		headers map[string]string
+		want    int
+	}{
+		{"undeclared-v1", v1, nil, http.StatusOK},
+		{"undeclared-v2", v2, nil, http.StatusOK},
+		{"declared-v2-matches", v2, map[string]string{"X-Iocov-Format": "2"}, http.StatusOK},
+		{"content-type-v1", v1, map[string]string{"Content-Type": "application/octet-stream; v=1"}, http.StatusOK},
+		{"declared-v2-stream-v1", v1, map[string]string{"X-Iocov-Format": "2"}, http.StatusBadRequest},
+		{"declared-v1-stream-v2", v2, map[string]string{"X-Iocov-Format": "1"}, http.StatusBadRequest},
+		{"declared-junk", v1, map[string]string{"X-Iocov-Format": "banana"}, http.StatusBadRequest},
+		{"declared-unsupported", v1, map[string]string{"X-Iocov-Format": "9"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := ingestHeaders(t, ts.URL, c.name, c.body, c.headers)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestIngestPIDOverflowRejected: a wire pid >= 2^63 (which would wrap
+// negative through int) rejects the session as malformed.
+func TestIngestPIDOverflowRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := encodeStream(t, nil) // just the header
+	body = append(body, 1)       // seq = 1
+	// pid = 2^63 as a uvarint.
+	body = append(body, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	resp, _ := ingest(t, ts.URL, "bigpid", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("pid 2^63: status %d, want 400", resp.StatusCode)
 	}
 }
 

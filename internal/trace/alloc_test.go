@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"testing"
 
 	"iocov/internal/raceflag"
@@ -53,5 +54,74 @@ func TestKeepSteadyStateAllocs(t *testing.T) {
 	})
 	if n != 0 {
 		t.Fatalf("steady-state Keep allocates %.1f times per 5 events, want 0", n)
+	}
+}
+
+// allocTestStream encodes n copies of a typical syscall event cycle whose
+// strings all repeat, so everything past the first few events is a pure
+// dictionary-hit decode.
+func allocTestStream(t *testing.T, n, version int) []byte {
+	t.Helper()
+	var events []Event
+	for i := 0; i < n; i++ {
+		ev := Event{Seq: uint64(i + 1), PID: 1 + i%3, Name: "write", Ret: 4096}
+		ev.AddStr("filename", "/mnt/test/a")
+		ev.AddArg("fd", 3)
+		ev.AddArg("count", 4096)
+		events = append(events, ev)
+	}
+	return encodeEvents(t, events, version)
+}
+
+// TestBinaryParserSteadyStateAllocs pins the reference decoder's allocation
+// regression fix: Next used to build a fresh Args and Strs map per event;
+// with the inline-storage decode the steady state (all strings already
+// interned) must not allocate at all.
+func TestBinaryParserSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	for _, version := range []int{1, 2} {
+		p := NewBinaryParser(bytes.NewReader(allocTestStream(t, 1000, version)))
+		// Warm up: first sight interns the dictionary strings.
+		for i := 0; i < 8; i++ {
+			if _, err := p.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := testing.AllocsPerRun(500, func() {
+			if _, err := p.Next(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if n != 0 {
+			t.Fatalf("v%d steady-state BinaryParser.Next allocates %.1f per event, want 0", version, n)
+		}
+	}
+}
+
+// TestBatchDecodeSteadyStateAllocs pins the ingest fast path: decoding into
+// a reused Event through the batch decoder must be allocation-free once the
+// per-stream dictionary is warm.
+func TestBatchDecodeSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are unreliable under -race")
+	}
+	for _, version := range []int{1, 2} {
+		d := NewBatchDecoder(bytes.NewReader(allocTestStream(t, 1000, version)))
+		var ev Event
+		for i := 0; i < 8; i++ {
+			if _, err := d.Next(&ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := testing.AllocsPerRun(500, func() {
+			if _, err := d.Next(&ev); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if n != 0 {
+			t.Fatalf("v%d steady-state BatchDecoder.Next allocates %.1f per event, want 0", version, n)
+		}
 	}
 }

@@ -15,9 +15,9 @@ import (
 // playing the role of LTTng's CTF stream (the text format corresponds to
 // babeltrace's pretty-printed view). Layout:
 //
-//	magic "IOCV" + version byte 1
+//	magic "IOCV" + version byte (1 or 2)
 //	per event:
-//	  uvarint seq
+//	  uvarint seq           (v1)  /  zigzag varint seq delta (v2)
 //	  uvarint pid
 //	  string  name          (dictionary-compressed, see below)
 //	  uvarint nStrs, then nStrs x (string key, string value)
@@ -31,8 +31,22 @@ import (
 // argument keys repeat constantly, so traces shrink by roughly 4x vs text.
 // The event's Path is reconstructed from the standard path keys, exactly
 // like the text parser does.
+//
+// Format v2 differs from v1 in exactly one field: the per-event sequence
+// number is delta-encoded as a zigzag varint against the previous event's
+// seq (starting from 0). Kernel emitters assign monotonically increasing
+// sequence numbers, so the delta is almost always +1 and encodes in one
+// byte forever, where the absolute v1 encoding grows with the stream. The
+// delta is computed in the uint64 domain, so every (prev, seq) pair —
+// including regressions — round-trips exactly. Readers in this package
+// (BinaryParser and BatchDecoder) accept both versions transparently; v1
+// is supported forever.
 
-const binaryMagic = "IOCV\x01"
+const (
+	binaryMagicPrefix = "IOCV"
+	binaryMagic       = binaryMagicPrefix + "\x01"
+	binaryMagicV2     = binaryMagicPrefix + "\x02"
+)
 
 // ErrMalformed marks structural decode failures: bad magic, dangling or
 // out-of-range dictionary references, and declared sizes over the hard caps
@@ -66,17 +80,27 @@ const (
 
 // BinaryWriter serializes events to the binary format. It implements Sink.
 type BinaryWriter struct {
-	bw   *bufio.Writer
-	dict map[string]uint64
-	err  error
-	tmp  []byte
+	bw      *bufio.Writer
+	dict    map[string]uint64
+	err     error
+	tmp     []byte
+	version int
+	prevSeq uint64
 }
 
-// NewBinaryWriter creates a writer and emits the stream header.
-func NewBinaryWriter(w io.Writer) *BinaryWriter {
+// NewBinaryWriter creates a format-v1 writer and emits the stream header.
+func NewBinaryWriter(w io.Writer) *BinaryWriter { return newBinaryWriter(w, binaryMagic, 1) }
+
+// NewBinaryWriterV2 creates a format-v2 writer (delta-encoded sequence
+// numbers) and emits the stream header. V2 is what the remote harness
+// streams by default; v1 remains fully supported on the read side.
+func NewBinaryWriterV2(w io.Writer) *BinaryWriter { return newBinaryWriter(w, binaryMagicV2, 2) }
+
+func newBinaryWriter(w io.Writer, magic string, version int) *BinaryWriter {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	out := &BinaryWriter{bw: bw, dict: make(map[string]uint64), tmp: make([]byte, binary.MaxVarintLen64)}
-	_, out.err = bw.WriteString(binaryMagic)
+	out := &BinaryWriter{bw: bw, dict: make(map[string]uint64),
+		tmp: make([]byte, binary.MaxVarintLen64), version: version}
+	_, out.err = bw.WriteString(magic)
 	return out
 }
 
@@ -116,7 +140,14 @@ func (w *BinaryWriter) str(s string) {
 
 // Emit writes one event. Errors are sticky and reported by Flush.
 func (w *BinaryWriter) Emit(ev Event) {
-	w.uvarint(ev.Seq)
+	if w.version >= 2 {
+		// uint64 subtraction wraps, and the reader adds it back in the
+		// same domain, so any seq sequence round-trips exactly.
+		w.varint(int64(ev.Seq - w.prevSeq))
+		w.prevSeq = ev.Seq
+	} else {
+		w.uvarint(ev.Seq)
+	}
 	w.uvarint(uint64(ev.PID))
 	w.str(ev.Name)
 	w.uvarint(uint64(ev.numStrs()))
@@ -143,14 +174,19 @@ func (w *BinaryWriter) Flush() error {
 	return w.bw.Flush()
 }
 
-// BinaryParser reads events back from the binary format. It is hardened
-// against adversarial input (see ErrMalformed): string lengths, pair counts,
-// dictionary size, and per-event byte budgets are all capped, and dictionary
-// references are validated in the uint64 domain before any indexing.
+// BinaryParser reads events back from the binary format (either version).
+// It is hardened against adversarial input (see ErrMalformed): string
+// lengths, pair counts, dictionary size, and per-event byte budgets are all
+// capped, and dictionary references are validated in the uint64 domain
+// before any indexing. It is the reference decoder; BatchDecoder is its
+// allocation-free twin for the ingest hot path, and the two are fuzzed
+// against each other.
 type BinaryParser struct {
-	br   *bufio.Reader
-	dict []string
-	read bool
+	br      *bufio.Reader
+	dict    []string
+	read    bool
+	version int
+	prevSeq uint64
 	// evBytes tracks the literal string bytes the current event has
 	// introduced, enforcing maxEventBytes.
 	evBytes int
@@ -164,18 +200,41 @@ func NewBinaryParser(r io.Reader) *BinaryParser {
 
 func (p *BinaryParser) header() error {
 	buf := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(p.br, buf); err != nil {
-		if err == io.EOF {
-			return io.EOF
+	n, err := io.ReadFull(p.br, buf)
+	if err != nil {
+		if n == 0 {
+			// A zero-byte stream is not an empty trace: the header is
+			// mandatory, so its absence is a malformed stream, not EOF.
+			// (Before this was typed, POST /ingest with an empty body
+			// passed as a valid session.)
+			return fmt.Errorf("trace: missing binary header: %w", ErrMalformed)
 		}
-		return fmt.Errorf("trace: short binary header: %w", err)
+		return fmt.Errorf("trace: short binary header: %w", unexpectedEOF(err))
 	}
-	if string(buf) != binaryMagic {
-		return fmt.Errorf("trace: bad binary magic %q: %w", buf, ErrMalformed)
+	version, err := binaryVersion(buf)
+	if err != nil {
+		return err
 	}
+	p.version = version
 	p.read = true
 	return nil
 }
+
+// binaryVersion validates a 5-byte header and returns the format version.
+func binaryVersion(buf []byte) (int, error) {
+	if len(buf) != len(binaryMagic) || string(buf[:len(binaryMagicPrefix)]) != binaryMagicPrefix {
+		return 0, fmt.Errorf("trace: bad binary magic %q: %w", buf, ErrMalformed)
+	}
+	v := int(buf[len(binaryMagicPrefix)])
+	if v < 1 || v > 2 {
+		return 0, fmt.Errorf("trace: unsupported binary format version %d: %w", v, ErrMalformed)
+	}
+	return v, nil
+}
+
+// Version returns the stream's negotiated format version: 0 before the
+// header has been read, then 1 or 2.
+func (p *BinaryParser) Version() int { return p.version }
 
 // errVarintOverflow captures encoding/binary's unexported overflow sentinel
 // by probing it once, so the parser can classify overlong varints as
@@ -250,17 +309,31 @@ func (p *BinaryParser) Next() (Event, error) {
 	}
 	var ev Event
 	p.evBytes = 0
-	seq, err := p.uvarint()
+	var seq uint64
+	var err error
+	if p.version >= 2 {
+		var delta int64
+		delta, err = p.varint()
+		seq = p.prevSeq + uint64(delta)
+	} else {
+		seq, err = p.uvarint()
+	}
 	if err != nil {
 		if err == io.EOF {
 			return Event{}, io.EOF
 		}
 		return Event{}, err
 	}
+	p.prevSeq = seq
 	ev.Seq = seq
 	pid, err := p.uvarint()
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
+	}
+	// Validate in the uint64 domain: a pid >= 2^63 would wrap negative
+	// through the int conversion and flow downstream as a nonsense process.
+	if pid > maxIntValue {
+		return Event{}, fmt.Errorf("trace: pid %d overflows int: %w", pid, ErrMalformed)
 	}
 	ev.PID = int(pid)
 	if ev.Name, err = p.str(); err != nil {
@@ -273,19 +346,20 @@ func (p *BinaryParser) Next() (Event, error) {
 	if nStrs > maxPairs {
 		return Event{}, fmt.Errorf("trace: unreasonable string-arg count %d: %w", nStrs, ErrMalformed)
 	}
-	if nStrs > 0 {
-		ev.Strs = make(map[string]string, nStrs)
-		for i := uint64(0); i < nStrs; i++ {
-			k, err := p.str()
-			if err != nil {
-				return Event{}, unexpectedEOF(err)
-			}
-			v, err := p.str()
-			if err != nil {
-				return Event{}, unexpectedEOF(err)
-			}
-			ev.Strs[k] = v
+	// Arguments route through the event's inline storage (AddStr/AddArg),
+	// exactly like hot-path producers: a typical syscall event decodes with
+	// no per-event map allocation, spilling to the maps only past the
+	// inline capacity.
+	for i := uint64(0); i < nStrs; i++ {
+		k, err := p.str()
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
 		}
+		v, err := p.str()
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		ev.AddStr(k, v)
 	}
 	nArgs, err := p.uvarint()
 	if err != nil {
@@ -294,19 +368,16 @@ func (p *BinaryParser) Next() (Event, error) {
 	if nArgs > maxPairs {
 		return Event{}, fmt.Errorf("trace: unreasonable arg count %d: %w", nArgs, ErrMalformed)
 	}
-	if nArgs > 0 {
-		ev.Args = make(map[string]int64, nArgs)
-		for i := uint64(0); i < nArgs; i++ {
-			k, err := p.str()
-			if err != nil {
-				return Event{}, unexpectedEOF(err)
-			}
-			v, err := p.varint()
-			if err != nil {
-				return Event{}, unexpectedEOF(err)
-			}
-			ev.Args[k] = v
+	for i := uint64(0); i < nArgs; i++ {
+		k, err := p.str()
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
 		}
+		v, err := p.varint()
+		if err != nil {
+			return Event{}, unexpectedEOF(err)
+		}
+		ev.AddArg(k, v)
 	}
 	if ev.Ret, err = p.varint(); err != nil {
 		return Event{}, unexpectedEOF(err)
@@ -315,10 +386,17 @@ func (p *BinaryParser) Next() (Event, error) {
 	if err != nil {
 		return Event{}, unexpectedEOF(err)
 	}
+	if errno > maxIntValue {
+		return Event{}, fmt.Errorf("trace: errno %d overflows int: %w", errno, ErrMalformed)
+	}
 	ev.Err = sys.Errno(errno)
-	ev.Path = primaryPath(ev.Strs)
+	ev.Path = ev.primaryPathArg()
 	return ev, nil
 }
+
+// maxIntValue is the largest uvarint that converts to int without wrapping
+// negative; pid and errno fields beyond it are structurally malformed.
+const maxIntValue = 1<<63 - 1
 
 // ParseAllBinary reads every event from a binary stream.
 func ParseAllBinary(r io.Reader) ([]Event, error) {

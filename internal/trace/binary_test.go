@@ -2,13 +2,41 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
-	"reflect"
 	"testing"
 
 	"iocov/internal/sys"
 )
+
+// eventsEquivalent compares two events semantically: scalar fields plus the
+// full argument sets through the accessor API, so map-built and
+// inline-built events compare equal when they carry the same data. (The
+// decoders use inline storage, so reflect.DeepEqual against a map-built
+// original would spuriously fail on representation.)
+func eventsEquivalent(a, b *Event) bool {
+	if a.Seq != b.Seq || a.PID != b.PID || a.Name != b.Name ||
+		a.Path != b.Path || a.Ret != b.Ret || a.Err != b.Err {
+		return false
+	}
+	if a.numArgs() != b.numArgs() || a.numStrs() != b.numStrs() {
+		return false
+	}
+	ok := true
+	a.EachArg(func(name string, v int64) {
+		if got, found := b.Arg(name); !found || got != v {
+			ok = false
+		}
+	})
+	a.EachStr(func(name, v string) {
+		if got, found := b.Str(name); !found || got != v {
+			ok = false
+		}
+	})
+	return ok
+}
 
 func TestBinaryRoundTrip(t *testing.T) {
 	events := []Event{
@@ -37,7 +65,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("parsed %d, want %d", len(got), len(events))
 	}
 	for i := range events {
-		if !reflect.DeepEqual(got[i], events[i]) {
+		if !eventsEquivalent(&got[i], &events[i]) {
 			t.Errorf("event %d:\n got %+v\nwant %+v", i, got[i], events[i])
 		}
 	}
@@ -93,10 +121,16 @@ func TestBinaryEmptyStream(t *testing.T) {
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty stream: %d events, %v", len(got), err)
 	}
-	// Completely empty input (no header) is EOF at the first event.
+	// Completely empty input is NOT a valid empty trace: the header is
+	// mandatory, so a zero-byte stream is malformed, not EOF.
 	p := NewBinaryParser(bytes.NewReader(nil))
-	if _, err := p.Next(); err != io.EOF {
-		t.Errorf("no header: err = %v, want EOF", err)
+	if _, err := p.Next(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("no header: err = %v, want ErrMalformed", err)
+	}
+	// A header cut short is a truncation, not a clean end.
+	p = NewBinaryParser(bytes.NewReader([]byte(binaryMagic[:3])))
+	if _, err := p.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short header: err = %v, want ErrUnexpectedEOF", err)
 	}
 }
 
@@ -168,8 +202,99 @@ func TestBinaryLargeTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
-		if !reflect.DeepEqual(got[i], want[i]) {
+		if !eventsEquivalent(&got[i], &want[i]) {
 			t.Fatalf("event %d mismatch", i)
 		}
+	}
+}
+
+func TestBinaryV2RoundTrip(t *testing.T) {
+	// Sequence numbers that exercise the delta encoding hard: monotonic
+	// steps, repeats, large jumps, a backwards jump (negative delta), and
+	// the extremes of the uint64 domain (wraparound deltas).
+	seqs := []uint64{1, 2, 3, 3, 1 << 40, 7, 0, ^uint64(0), 5}
+	var events []Event
+	for i, seq := range seqs {
+		events = append(events, Event{
+			Seq: seq, PID: i + 1, Name: "write",
+			Args: map[string]int64{"fd": 3, "count": int64(i * 100)},
+			Ret:  int64(i * 100),
+		})
+	}
+	var buf bytes.Buffer
+	w := NewBinaryWriterV2(&buf)
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewBinaryParser(bytes.NewReader(buf.Bytes()))
+	var got []Event
+	for {
+		ev, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if p.Version() != 2 {
+		t.Errorf("Version() = %d, want 2", p.Version())
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !eventsEquivalent(&got[i], &events[i]) {
+			t.Errorf("event %d:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryV2SmallerThanV1(t *testing.T) {
+	// Large absolute sequence numbers cost ~1 varint byte per event in v2
+	// (delta 1) versus many in v1 — the reason v2 exists.
+	var v1, v2 bytes.Buffer
+	w1, w2 := NewBinaryWriter(&v1), NewBinaryWriterV2(&v2)
+	for i := 0; i < 1000; i++ {
+		ev := Event{Seq: uint64(1<<56 + i), PID: 1, Name: "sync"}
+		w1.Emit(ev)
+		w2.Emit(ev)
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Errorf("v2 stream %d bytes not smaller than v1 %d", v2.Len(), v1.Len())
+	}
+}
+
+func TestBinaryUnknownVersion(t *testing.T) {
+	if _, err := ParseAllBinary(bytes.NewReader([]byte(binaryMagicPrefix + "\x03"))); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown version: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestBinaryPIDOverflowRejected(t *testing.T) {
+	// A pid uvarint >= 2^63 used to wrap negative through int(pid); both
+	// decoders must now reject it as malformed.
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	seqPid := binary.AppendUvarint(nil, 1)       // seq
+	seqPid = binary.AppendUvarint(seqPid, 1<<63) // pid: wraps negative as int
+	buf.Write(seqPid)
+	if _, err := ParseAllBinary(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrMalformed) {
+		t.Errorf("BinaryParser: pid 2^63 err = %v, want ErrMalformed", err)
+	}
+	d := NewBatchDecoder(bytes.NewReader(buf.Bytes()))
+	var ev Event
+	if _, err := d.Next(&ev); !errors.Is(err, ErrMalformed) {
+		t.Errorf("BatchDecoder: pid 2^63 err = %v, want ErrMalformed", err)
 	}
 }

@@ -125,6 +125,27 @@ func (e *Event) Str(name string) (string, bool) {
 // Failed reports whether the syscall returned an error.
 func (e *Event) Failed() bool { return e.Err != sys.OK }
 
+// primaryPathArg reconstructs the event's primary path argument from its
+// string arguments — inline or spilled — in the precedence the kernel layer
+// uses when emitting. The parsers call it to rebuild Path after decoding.
+//
+//iocov:hotpath
+func (e *Event) primaryPathArg() string {
+	if v, ok := e.Str("filename"); ok {
+		return v
+	}
+	if v, ok := e.Str("pathname"); ok {
+		return v
+	}
+	if v, ok := e.Str("path"); ok {
+		return v
+	}
+	if v, ok := e.Str("oldname"); ok {
+		return v
+	}
+	return ""
+}
+
 // EachArg calls fn for every numeric argument, in unspecified order.
 func (e *Event) EachArg(fn func(name string, v int64)) {
 	for i := 0; i < int(e.nargs); i++ {

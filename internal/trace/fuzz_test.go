@@ -20,6 +20,9 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 	f.Add(uint64(99), 1, "write", "", "", "count", int64(-9000), int64(-28), uint16(28), false)
 	f.Add(uint64(0), 0, "", "name", "user.attr", "size", int64(1<<40), int64(0), uint16(22), true)
 	f.Fuzz(func(t *testing.T, seq uint64, pid int, name, sk, sv, ak string, av, ret int64, errno uint16, inline bool) {
+		// The codec only transports non-negative pids (a >= 2^63 wire value
+		// is rejected as malformed, by design); fuzz within the contract.
+		pid &= 1<<63 - 1
 		ev := Event{Seq: seq, PID: pid, Name: name, Ret: ret, Err: sys.Errno(errno)}
 		if inline {
 			ev.AddStr(sk, sv)
@@ -28,34 +31,56 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 			ev.Strs = map[string]string{sk: sv}
 			ev.Args = map[string]int64{ak: av}
 		}
-		var buf bytes.Buffer
-		w := NewBinaryWriter(&buf)
-		w.Emit(ev)
-		if err := w.Flush(); err != nil {
-			t.Fatalf("Flush: %v", err)
+		check := func(version string, g *Event) {
+			t.Helper()
+			if g.Seq != seq || g.PID != pid || g.Name != name || g.Ret != ret || g.Err != sys.Errno(errno) {
+				t.Errorf("%s scalar fields: got %+v", version, g)
+			}
+			if v, ok := g.Str(sk); !ok || v != sv {
+				t.Errorf("%s Str(%q) = %q, %v; want %q", version, sk, v, ok, sv)
+			}
+			if v, ok := g.Arg(ak); !ok || v != av {
+				t.Errorf("%s Arg(%q) = %d, %v; want %d", version, ak, v, ok, av)
+			}
+			if g.numStrs() != 1 || g.numArgs() != 1 {
+				t.Errorf("%s pair counts: %d strs, %d args; want 1, 1", version, g.numStrs(), g.numArgs())
+			}
+			if want := ev.primaryPathArg(); g.Path != want {
+				t.Errorf("%s Path = %q, want %q", version, g.Path, want)
+			}
 		}
-		got, err := ParseAllBinary(bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			t.Fatalf("parse back: %v", err)
-		}
-		if len(got) != 1 {
-			t.Fatalf("parsed %d events, want 1", len(got))
-		}
-		g := got[0]
-		if g.Seq != seq || g.PID != pid || g.Name != name || g.Ret != ret || g.Err != sys.Errno(errno) {
-			t.Errorf("scalar fields: got %+v", g)
-		}
-		if v, ok := g.Str(sk); !ok || v != sv {
-			t.Errorf("Str(%q) = %q, %v; want %q", sk, v, ok, sv)
-		}
-		if v, ok := g.Arg(ak); !ok || v != av {
-			t.Errorf("Arg(%q) = %d, %v; want %d", ak, v, ok, av)
-		}
-		if g.numStrs() != 1 || g.numArgs() != 1 {
-			t.Errorf("pair counts: %d strs, %d args; want 1, 1", g.numStrs(), g.numArgs())
-		}
-		if want := primaryPath(g.Strs); g.Path != want {
-			t.Errorf("Path = %q, want primaryPath %q", g.Path, want)
+		for _, tc := range []struct {
+			version string
+			write   func(*bytes.Buffer) *BinaryWriter
+		}{
+			{"v1", func(b *bytes.Buffer) *BinaryWriter { return NewBinaryWriter(b) }},
+			{"v2", func(b *bytes.Buffer) *BinaryWriter { return NewBinaryWriterV2(b) }},
+		} {
+			var buf bytes.Buffer
+			w := tc.write(&buf)
+			w.Emit(ev)
+			if err := w.Flush(); err != nil {
+				t.Fatalf("%s Flush: %v", tc.version, err)
+			}
+			// The reference decoder.
+			got, err := ParseAllBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s parse back: %v", tc.version, err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("%s parsed %d events, want 1", tc.version, len(got))
+			}
+			check(tc.version, &got[0])
+			// The batch decoder must agree byte for byte.
+			d := NewBatchDecoder(bytes.NewReader(buf.Bytes()))
+			var bev Event
+			if _, err := d.Next(&bev); err != nil {
+				t.Fatalf("%s batch decode: %v", tc.version, err)
+			}
+			check(tc.version+"-batch", &bev)
+			if _, err := d.Next(&bev); err != io.EOF {
+				t.Fatalf("%s batch decode tail: err = %v, want EOF", tc.version, err)
+			}
 		}
 	})
 }
@@ -95,12 +120,27 @@ func FuzzBinaryReaderMalformed(f *testing.F) {
 	huge = binary.AppendUvarint(huge, maxStringLen+1) // declared length over cap
 	f.Add(huge)
 
+	// A pid that wraps negative when converted to int unchecked.
+	bigpid := []byte(binaryMagic)
+	bigpid = binary.AppendUvarint(bigpid, 1)     // seq
+	bigpid = binary.AppendUvarint(bigpid, 1<<63) // pid: overflows int
+	f.Add(bigpid)
+
+	// A v2 header over an otherwise-v1-shaped body, and an unknown version.
+	f.Add(append([]byte(binaryMagicV2), valid.Bytes()[len(binaryMagic):]...))
+	f.Add([]byte(binaryMagicPrefix + "\x07"))
+	// The zero-byte stream: must be ErrMalformed, never a silent empty trace.
+	f.Add([]byte{})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The reference decoder: never panics, always terminates with a
+		// typed error or a clean EOF.
+		refEvents, refErr := 0, error(nil)
 		p := NewBinaryParser(bytes.NewReader(data))
 		for i := 0; i < 1<<12; i++ {
 			_, err := p.Next()
 			if err == io.EOF {
-				return
+				break
 			}
 			if err != nil {
 				// Any other error must be a typed decode failure, not
@@ -108,8 +148,35 @@ func FuzzBinaryReaderMalformed(f *testing.F) {
 				if !errors.Is(err, ErrMalformed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 					t.Fatalf("untyped parse error: %v", err)
 				}
-				return
+				refErr = err
+				break
 			}
+			refEvents++
+		}
+
+		// The batch decoder: same exposure, same obligations — and it must
+		// agree with the reference decoder on how many events the prefix
+		// holds and on accept-vs-reject.
+		var ev Event
+		batchEvents, batchErr := 0, error(nil)
+		d := NewBatchDecoder(bytes.NewReader(data))
+		for i := 0; i < 1<<12; i++ {
+			_, err := d.Next(&ev)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrMalformed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("untyped batch decode error: %v", err)
+				}
+				batchErr = err
+				break
+			}
+			batchEvents++
+		}
+		if refEvents != batchEvents || (refErr == nil) != (batchErr == nil) {
+			t.Fatalf("decoder divergence: reference %d events (err %v), batch %d events (err %v)",
+				refEvents, refErr, batchEvents, batchErr)
 		}
 	})
 }

@@ -184,19 +184,8 @@ func parseLine(text string) (Event, error) {
 	if err := parseRet(strings.TrimSpace(retPart), &ev); err != nil {
 		return ev, err
 	}
-	ev.Path = primaryPath(ev.Strs)
+	ev.Path = ev.primaryPathArg()
 	return ev, nil
-}
-
-// primaryPath reconstructs an event's primary path argument from its
-// string arguments, in the precedence the kernel layer uses when emitting.
-func primaryPath(strs map[string]string) string {
-	for _, key := range []string{"filename", "pathname", "path", "oldname"} {
-		if v, ok := strs[key]; ok {
-			return v
-		}
-	}
-	return ""
 }
 
 // cutLast cuts s at the last occurrence of sep.
