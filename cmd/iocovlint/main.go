@@ -13,6 +13,10 @@
 //	httpcheck    HTTP handler error paths must set an explicit status code
 //	lockcheck    CFG/dataflow lock-discipline proof for guarded fields
 //	alloccheck   //iocov:hotpath reachability proof of zero allocation
+//	leakcheck    every goroutine launch must have a provable exit path
+//	atomcheck    sync/atomic objects must never be accessed plainly
+//	determcheck  //iocov:deterministic roots stay clock-, RNG-, goroutine-
+//	             and map-order-free
 //
 // -pass NAME runs a single pass; -passes takes a comma-separated subset.
 // -json emits one JSON object per finding ({"pass","file","line","col",
@@ -24,9 +28,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,26 +38,28 @@ import (
 	"iocov/internal/lint"
 )
 
-// jsonFinding is the one-object-per-line output shape of -json.
-type jsonFinding struct {
-	Pass    string `json:"pass"`
-	File    string `json:"file,omitempty"`
-	Line    int    `json:"line,omitempty"`
-	Col     int    `json:"col,omitempty"`
-	Message string `json:"message"`
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	root := flag.String("root", "", "module root to analyze (default: nearest go.mod at or above the working directory)")
-	passes := flag.String("passes", "", "comma-separated pass subset (default: "+strings.Join(lint.PassNames(), ",")+")")
-	pass := flag.String("pass", "", "run a single pass (shorthand for -passes NAME)")
-	asJSON := flag.Bool("json", false, "emit one JSON object per finding on stdout")
-	verbose := flag.Bool("v", false, "report load statistics and per-pass analysis times")
-	flag.Parse()
+// realMain is the testable body of main: it parses args, runs the selected
+// passes, writes findings to stdout and diagnostics to stderr, and returns
+// the process exit code (0 no findings, 1 findings, 2 usage or load error).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iocovlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root to analyze (default: nearest go.mod at or above the working directory)")
+	passes := fs.String("passes", "", "comma-separated pass subset (default: "+strings.Join(lint.PassNames(), ",")+")")
+	pass := fs.String("pass", "", "run a single pass (shorthand for -passes NAME)")
+	asJSON := fs.Bool("json", false, "emit one JSON object per finding on stdout")
+	verbose := fs.Bool("v", false, "report load statistics and per-pass analysis times")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *pass != "" && *passes != "" {
-		fmt.Fprintln(os.Stderr, "iocovlint: -pass and -passes are mutually exclusive")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iocovlint: -pass and -passes are mutually exclusive")
+		return 2
 	}
 	spec := *passes
 	if *pass != "" {
@@ -65,57 +71,48 @@ func main() {
 		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "iocovlint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "iocovlint:", err)
+			return 2
 		}
 	}
 	selected, err := lint.SelectPasses(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iocovlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iocovlint:", err)
+		return 2
 	}
 	target, err := lint.LoadRepo(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "iocovlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iocovlint:", err)
+		return 2
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "iocovlint: %d packages loaded from %s\n", len(target.Pkgs), dir)
+		fmt.Fprintf(stderr, "iocovlint: %d packages loaded from %s\n", len(target.Pkgs), dir)
 	}
 	findings, times := lint.RunAllTimed(target, selected)
 	if *verbose {
 		for _, pt := range times {
-			fmt.Fprintf(os.Stderr, "iocovlint: %-12s %8.1fms\n",
+			fmt.Fprintf(stderr, "iocovlint: %-12s %8.1fms\n",
 				pt.Name, float64(pt.Elapsed.Microseconds())/1000)
 		}
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		for _, f := range findings {
-			jf := jsonFinding{
-				Pass:    f.Pass,
-				File:    f.Pos.Filename,
-				Line:    f.Pos.Line,
-				Col:     f.Pos.Column,
-				Message: f.Message,
-			}
-			if err := enc.Encode(jf); err != nil {
-				fmt.Fprintln(os.Stderr, "iocovlint:", err)
-				os.Exit(2)
-			}
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "iocovlint:", err)
+			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "iocovlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iocovlint: %d finding(s)\n", len(findings))
+		return 1
 	}
 	if *verbose {
-		fmt.Fprintln(os.Stderr, "iocovlint: no findings")
+		fmt.Fprintln(stderr, "iocovlint: no findings")
 	}
+	return 0
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

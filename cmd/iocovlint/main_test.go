@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI contract CI gates on: 0 with no findings, 1
+// with findings, 2 on usage or load errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean module", []string{"-root", "testdata/cleanmod"}, 0},
+		{"findings", []string{"-root", "testdata/badmod"}, 1},
+		{"unknown pass", []string{"-root", "testdata/cleanmod", "-pass", "nosuchpass"}, 2},
+		{"pass and passes", []string{"-root", "testdata/cleanmod", "-pass", "atomcheck", "-passes", "errcheck"}, 2},
+		{"bad root", []string{"-root", "testdata/nosuchdir"}, 2},
+		{"bad flag", []string{"-nosuchflag"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := realMain(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestFindingOutput checks the dirty module's finding reaches stdout in both
+// text and JSON form, attributed to the right pass.
+func TestFindingOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := realMain([]string{"-root", "testdata/badmod"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[atomcheck]") {
+		t.Errorf("text output missing atomcheck finding:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := realMain([]string{"-root", "testdata/badmod", "-json"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("json exit = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	var jf struct {
+		Pass    string `json:"pass"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+	}
+	line := strings.SplitN(stdout.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &jf); err != nil {
+		t.Fatalf("json output not decodable: %v\n%s", err, stdout.String())
+	}
+	if jf.Pass != "atomcheck" || jf.Line == 0 || !strings.Contains(jf.File, "badmod") {
+		t.Errorf("json finding = %+v", jf)
+	}
+}

@@ -1,0 +1,14 @@
+// Package pkg is a minimal dirty module for the iocovlint exit-code test:
+// hits mixes atomic and plain access, so atomcheck must report a finding
+// and the CLI must exit 1.
+package pkg
+
+import "sync/atomic"
+
+var hits int64
+
+// Hit records one hit.
+func Hit() { atomic.AddInt64(&hits, 1) }
+
+// Count reads the counter without going through sync/atomic.
+func Count() int64 { return hits }

@@ -1,0 +1,6 @@
+// Package pkg is a minimal clean module for the iocovlint exit-code test:
+// every pass must run over it without findings.
+package pkg
+
+// Add returns a + b.
+func Add(a, b int) int { return a + b }

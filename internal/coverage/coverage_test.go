@@ -297,3 +297,20 @@ func TestAddAll(t *testing.T) {
 		t.Errorf("syscalls = %v", got)
 	}
 }
+
+func TestComboTableDeterministic(t *testing.T) {
+	// Overflow folding sums floats; ComboTable must add them in sorted key
+	// order so repeated renders of one histogram are bit-identical even
+	// though Go randomizes map iteration.
+	a := NewAnalyzer(DefaultOptions())
+	for k, n := range map[int]int64{1: 7, 2: 3, 3: 11, 4: 5, 5: 2, 6: 9, 7: 1, 8: 13} {
+		a.combos.All[k] = n
+		a.combos.Rdonly[k] = n / 2
+	}
+	want := a.ComboTable(3)
+	for i := 0; i < 100; i++ {
+		if got := a.ComboTable(3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: ComboTable diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}

@@ -156,6 +156,8 @@ type ComboRow struct {
 // ComboTable renders the flag-combination statistics as Table 1 rows, with
 // maxK columns (the paper uses 6, the largest combination either suite
 // produced).
+//
+//iocov:deterministic
 func (a *Analyzer) ComboTable(maxK int) []ComboRow {
 	build := func(name string, m map[int]int64) ComboRow {
 		var total int64
@@ -166,7 +168,15 @@ func (a *Analyzer) ComboTable(maxK int) []ComboRow {
 		if total == 0 {
 			return row
 		}
-		for k, n := range m {
+		// Percentages folding into the overflow column are summed in sorted
+		// key order: float addition is not associative, so map order would
+		// let the same histogram render different final bits run to run.
+		ks := make([]int, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
 			idx := k - 1
 			if idx < 0 {
 				continue
@@ -174,7 +184,7 @@ func (a *Analyzer) ComboTable(maxK int) []ComboRow {
 			if idx >= maxK {
 				idx = maxK - 1
 			}
-			row.Pct[idx] += 100 * float64(n) / float64(total)
+			row.Pct[idx] += 100 * float64(m[k]) / float64(total)
 		}
 		return row
 	}
@@ -206,6 +216,8 @@ type UntestedSummary struct {
 
 // Untested produces the untested-partition summary across every tracked
 // space, in deterministic order.
+//
+//iocov:deterministic
 func (a *Analyzer) UntestedAll(maxNumeric int) []UntestedSummary {
 	var out []UntestedSummary
 	for _, name := range a.Syscalls() {

@@ -3,6 +3,7 @@ package coverage
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // Snapshot is a serializable view of an analyzer's complete state, for
@@ -41,6 +42,8 @@ type SnapshotCombos struct {
 
 // Snapshot builds the serializable view. Numeric domains are truncated to
 // maxNumeric partitions (0 means 34, the Figure 3 window).
+//
+//iocov:deterministic
 func (a *Analyzer) Snapshot(maxNumeric int) *Snapshot {
 	if maxNumeric <= 0 {
 		maxNumeric = 34
@@ -126,6 +129,8 @@ func (s *Snapshot) Space(syscall, arg string) *SnapshotSpace {
 
 // DiffSnapshot reports the partitions covered by s but not by other — the
 // regression-tracking primitive ("this release stopped testing O_SYNC").
+//
+//iocov:deterministic
 func (s *Snapshot) DiffSnapshot(other *Snapshot) []SnapshotDiff {
 	var out []SnapshotDiff
 	diffPool := func(a, b []SnapshotSpace, isOutput bool) {
@@ -164,10 +169,6 @@ type SnapshotDiff struct {
 
 func sortedCopy(in []string) []string {
 	out := append([]string(nil), in...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }

@@ -14,6 +14,8 @@ import "sort"
 // long-lived analyzer would have reported.
 //
 // Nil arguments are treated as empty; the inputs are never mutated.
+//
+//iocov:deterministic
 func MergeSnapshots(a, b *Snapshot) *Snapshot {
 	if a == nil {
 		a = &Snapshot{}

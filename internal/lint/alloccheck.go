@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -54,63 +53,91 @@ func NewAllocCheck() *AllocCheck { return &AllocCheck{} }
 // Name implements Pass.
 func (a *AllocCheck) Name() string { return "alloccheck" }
 
-// allocFn is one declared function with its annotations.
-type allocFn struct {
-	pkg  *Package
-	decl *ast.FuncDecl
-	fa   funcAnnotations
-}
-
 type allocAnalysis struct {
 	t        *Target
+	g        *CallGraph
 	pass     string
-	funcs    map[*types.Func]*allocFn
 	findings []Finding
+	// guards caches each caller's nil-guard regions for edge filtering.
+	guards map[*CGNode][]posRange
+	// closures caches each caller's closure-literal regions: a call inside
+	// a FuncLit runs when the closure does, not when the enclosing function
+	// does, and the closure itself is already a hot-path finding.
+	closures map[*CGNode][]posRange
 }
 
-// Run implements Pass.
+// Run implements Pass. Reachability comes from the module call graph:
+// hot-path roots are traversed over static edges only (interface and
+// func-value dispatch are annotation boundaries per the pass contract),
+// stopping at //iocov:coldpath callees and at calls made inside nil-guard
+// lazy-init regions or closure literals.
 func (a *AllocCheck) Run(t *Target) []Finding {
-	an := &allocAnalysis{t: t, pass: a.Name(), funcs: make(map[*types.Func]*allocFn)}
-	for _, pkg := range t.Pkgs {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					an.funcs[obj] = &allocFn{pkg: pkg, decl: fd, fa: parseFuncAnnotations(fd)}
-				}
-			}
-		}
+	g := t.CallGraph()
+	an := &allocAnalysis{
+		t: t, g: g, pass: a.Name(),
+		guards:   make(map[*CGNode][]posRange),
+		closures: make(map[*CGNode][]posRange),
 	}
 
-	// Roots in source order for deterministic attribution.
-	var roots []*types.Func
-	for obj, fn := range an.funcs {
-		if fn.fa.hotpath {
-			roots = append(roots, obj)
+	// Nodes() is in declaration order, so the first root to reach a shared
+	// helper attributes it deterministically.
+	var roots []*CGNode
+	for _, n := range g.Nodes() {
+		if n.FA.hotpath {
+			roots = append(roots, n)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool {
-		return an.funcs[roots[i]].decl.Pos() < an.funcs[roots[j]].decl.Pos()
-	})
-
 	visited := make(map[*types.Func]bool)
 	for _, root := range roots {
-		rootName := funcDisplayName(an.funcs[root].decl)
-		queue := []*types.Func{root}
-		for len(queue) > 0 {
-			obj := queue[0]
-			queue = queue[1:]
-			if visited[obj] {
-				continue
+		reach := g.Reachable([]*types.Func{root.Obj}, func(e *CallSite) bool {
+			return e.Kind == CallStatic && !e.Callee.FA.coldpath &&
+				!inRegions(an.guardRegions(e.Caller), e.Pos) &&
+				!inRegions(an.closureRegions(e.Caller), e.Pos)
+		})
+		for _, n := range g.Nodes() {
+			if reach[n.Obj] && !visited[n.Obj] {
+				visited[n.Obj] = true
+				an.scan(n, root.Name())
 			}
-			visited[obj] = true
-			queue = append(queue, an.scan(obj, rootName)...)
 		}
 	}
 	return an.findings
+}
+
+// guardRegions returns (caching) the caller's nil-guard regions.
+func (an *allocAnalysis) guardRegions(n *CGNode) []posRange {
+	r, ok := an.guards[n]
+	if !ok {
+		r = nilGuardRegions(n.Decl.Body)
+		an.guards[n] = r
+	}
+	return r
+}
+
+// closureRegions returns (caching) the caller's FuncLit body regions.
+func (an *allocAnalysis) closureRegions(n *CGNode) []posRange {
+	r, ok := an.closures[n]
+	if !ok {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if lit, isLit := node.(*ast.FuncLit); isLit {
+				r = append(r, posRange{lit.Body.Pos(), lit.Body.End()})
+				return false
+			}
+			return true
+		})
+		an.closures[n] = r
+	}
+	return r
+}
+
+// inRegions reports whether a position falls inside any region.
+func inRegions(regions []posRange, p token.Pos) bool {
+	for _, r := range regions {
+		if p >= r.from && p < r.to {
+			return true
+		}
+	}
+	return false
 }
 
 // funcDisplayName renders "Recv.Name" for methods, "Name" otherwise.
@@ -170,23 +197,11 @@ func isNilIdent(e ast.Expr) bool {
 	return ok && id.Name == "nil"
 }
 
-// scan reports every allocating construct in one function and returns the
-// statically resolved in-module callees to keep traversing.
-func (an *allocAnalysis) scan(obj *types.Func, root string) []*types.Func {
-	fn := an.funcs[obj]
-	if fn == nil {
-		return nil
-	}
-	name := funcDisplayName(fn.decl)
-	regions := nilGuardRegions(fn.decl.Body)
-	inGuard := func(p token.Pos) bool {
-		for _, r := range regions {
-			if p >= r.from && p < r.to {
-				return true
-			}
-		}
-		return false
-	}
+// scan reports every allocating construct in one reachable function.
+func (an *allocAnalysis) scan(fn *CGNode, root string) {
+	name := fn.Name()
+	regions := an.guardRegions(fn)
+	inGuard := func(p token.Pos) bool { return inRegions(regions, p) }
 	flag := func(pos token.Pos, format string, args ...interface{}) {
 		if inGuard(pos) {
 			return
@@ -200,8 +215,7 @@ func (an *allocAnalysis) scan(obj *types.Func, root string) []*types.Func {
 	}
 
 	owned := ownedRoots(fn)
-	var callees []*types.Func
-	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
 			flag(x.Pos(), "declares a closure, which allocates")
@@ -216,27 +230,26 @@ func (an *allocAnalysis) scan(obj *types.Func, root string) []*types.Func {
 				}
 			}
 		case *ast.CompositeLit:
-			switch fn.pkg.Info.Types[x].Type.Underlying().(type) {
+			switch fn.Pkg.Info.Types[x].Type.Underlying().(type) {
 			case *types.Map:
 				flag(x.Pos(), "map literal allocates")
 			case *types.Slice:
 				flag(x.Pos(), "slice literal allocates")
 			}
 		case *ast.BinaryExpr:
-			if x.Op == token.ADD && isStringType(fn.pkg.Info.Types[x].Type) {
+			if x.Op == token.ADD && isStringType(fn.Pkg.Info.Types[x].Type) {
 				flag(x.Pos(), "string concatenation allocates")
 			}
 		case *ast.AssignStmt:
 			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 &&
-				isStringType(fn.pkg.Info.Types[x.Lhs[0]].Type) {
+				isStringType(fn.Pkg.Info.Types[x.Lhs[0]].Type) {
 				flag(x.Pos(), "string concatenation allocates")
 			}
 		case *ast.CallExpr:
-			callees = append(callees, an.scanCall(fn, x, owned, flag, inGuard)...)
+			an.scanCall(fn, x, owned, flag)
 		}
 		return true
 	})
-	return callees
 }
 
 func isStringType(t types.Type) bool {
@@ -247,36 +260,37 @@ func isStringType(t types.Type) bool {
 // ownedRoots collects the parameter and receiver objects: buffers rooted at
 // them are caller-owned (or fixed receiver storage), so append to them is
 // part of the scratch-reuse contract.
-func ownedRoots(fn *allocFn) map[types.Object]bool {
+func ownedRoots(fn *CGNode) map[types.Object]bool {
 	owned := make(map[types.Object]bool)
 	addField := func(f *ast.Field) {
 		for _, name := range f.Names {
-			if obj := fn.pkg.Info.Defs[name]; obj != nil {
+			if obj := fn.Pkg.Info.Defs[name]; obj != nil {
 				owned[obj] = true
 			}
 		}
 	}
-	if fn.decl.Recv != nil {
-		for _, f := range fn.decl.Recv.List {
+	if fn.Decl.Recv != nil {
+		for _, f := range fn.Decl.Recv.List {
 			addField(f)
 		}
 	}
-	if fn.decl.Type.Params != nil {
-		for _, f := range fn.decl.Type.Params.List {
+	if fn.Decl.Type.Params != nil {
+		for _, f := range fn.Decl.Type.Params.List {
 			addField(f)
 		}
 	}
 	return owned
 }
 
-// scanCall classifies one call: builtin, conversion, static function (with
-// traversal), denylisted external, and interface-boxing arguments.
-func (an *allocAnalysis) scanCall(fn *allocFn, call *ast.CallExpr, owned map[types.Object]bool,
-	flag func(token.Pos, string, ...interface{}), inGuard func(token.Pos) bool) []*types.Func {
+// scanCall classifies one call: builtin, conversion, denylisted external,
+// and interface-boxing arguments. In-module callees need no handling here —
+// the call graph already carries reachability.
+func (an *allocAnalysis) scanCall(fn *CGNode, call *ast.CallExpr, owned map[types.Object]bool,
+	flag func(token.Pos, string, ...interface{})) {
 
 	// Builtins.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if b, ok := fn.pkg.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := fn.Pkg.Info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
 				flag(call.Pos(), "make allocates")
@@ -287,40 +301,32 @@ func (an *allocAnalysis) scanCall(fn *allocFn, call *ast.CallExpr, owned map[typ
 					flag(call.Pos(), "append to a buffer not owned by a caller or the receiver may grow")
 				}
 			}
-			return nil
+			return
 		}
 	}
 
 	// Conversions: string <-> []byte/[]rune copy their data.
-	if tv, ok := fn.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+	if tv, ok := fn.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		dst := tv.Type.Underlying()
-		src := fn.pkg.Info.Types[call.Args[0]].Type
+		src := fn.Pkg.Info.Types[call.Args[0]].Type
 		if src != nil && stringBytesConversion(dst, src.Underlying()) {
 			flag(call.Pos(), "string conversion allocates")
 		}
-		return nil
+		return
 	}
 
 	// Resolve a static callee when there is one.
 	var calleeObj *types.Func
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		calleeObj, _ = fn.pkg.Info.Uses[fun].(*types.Func)
+		calleeObj, _ = fn.Pkg.Info.Uses[fun].(*types.Func)
 	case *ast.SelectorExpr:
-		calleeObj, _ = fn.pkg.Info.Uses[fun.Sel].(*types.Func)
+		calleeObj, _ = fn.Pkg.Info.Uses[fun.Sel].(*types.Func)
 	}
 
-	var next []*types.Func
 	denylisted := false
-	if calleeObj != nil {
-		if callee, inModule := an.funcs[calleeObj]; inModule {
-			// In-module: traverse unless the callee is an acknowledged cold
-			// path. Calls made inside a nil guard are themselves lazy-init
-			// and not traversed.
-			if !callee.fa.coldpath && !inGuard(call.Pos()) {
-				next = append(next, calleeObj)
-			}
-		} else if reason, bad := externalAllocCall(calleeObj); bad {
+	if calleeObj != nil && an.g.Node(calleeObj) == nil {
+		if reason, bad := externalAllocCall(calleeObj); bad {
 			denylisted = true
 			flag(call.Pos(), "calls %s, %s", externalCallName(calleeObj), reason)
 		}
@@ -331,12 +337,11 @@ func (an *allocAnalysis) scanCall(fn *allocFn, call *ast.CallExpr, owned map[typ
 	if sig, ok := callSignature(fn, call); ok && !denylisted {
 		checkBoxing(fn, call, sig, flag)
 	}
-	return next
 }
 
 // rootsAtOwned walks slice/index/field wrappers down to the root identifier
 // and reports whether it is a parameter or the receiver.
-func rootsAtOwned(fn *allocFn, e ast.Expr, owned map[types.Object]bool) bool {
+func rootsAtOwned(fn *CGNode, e ast.Expr, owned map[types.Object]bool) bool {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.SliceExpr:
@@ -348,9 +353,9 @@ func rootsAtOwned(fn *allocFn, e ast.Expr, owned map[types.Object]bool) bool {
 		case *ast.SelectorExpr:
 			e = x.X
 		case *ast.Ident:
-			obj := fn.pkg.Info.Uses[x]
+			obj := fn.Pkg.Info.Uses[x]
 			if obj == nil {
-				obj = fn.pkg.Info.Defs[x]
+				obj = fn.Pkg.Info.Defs[x]
 			}
 			return obj != nil && owned[obj]
 		default:
@@ -378,8 +383,8 @@ func isByteOrRuneSlice(t types.Type) bool {
 
 // callSignature resolves the signature of a (non-builtin, non-conversion)
 // call expression.
-func callSignature(fn *allocFn, call *ast.CallExpr) (*types.Signature, bool) {
-	tv, ok := fn.pkg.Info.Types[call.Fun]
+func callSignature(fn *CGNode, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := fn.Pkg.Info.Types[call.Fun]
 	if !ok || tv.IsType() {
 		return nil, false
 	}
@@ -390,7 +395,7 @@ func callSignature(fn *allocFn, call *ast.CallExpr) (*types.Signature, bool) {
 // checkBoxing flags arguments whose parameter is interface-typed while the
 // argument is a concrete non-pointer value: storing it in the interface
 // heap-allocates the value.
-func checkBoxing(fn *allocFn, call *ast.CallExpr, sig *types.Signature,
+func checkBoxing(fn *CGNode, call *ast.CallExpr, sig *types.Signature,
 	flag func(token.Pos, string, ...interface{})) {
 	params := sig.Params()
 	for i, arg := range call.Args {
@@ -409,7 +414,7 @@ func checkBoxing(fn *allocFn, call *ast.CallExpr, sig *types.Signature,
 		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
 			continue
 		}
-		at := fn.pkg.Info.Types[arg].Type
+		at := fn.Pkg.Info.Types[arg].Type
 		if at == nil || at == types.Typ[types.UntypedNil] {
 			continue
 		}

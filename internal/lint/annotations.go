@@ -6,7 +6,7 @@ import (
 )
 
 // The //iocov: annotation grammar ties source comments to the flow-sensitive
-// passes. Four forms exist, all parsed here:
+// passes. Six forms exist, all parsed here:
 //
 //	//iocov:guarded-by <mutexField>   on a struct field: the field may only
 //	                                  be accessed while the named sibling
@@ -23,6 +23,20 @@ import (
 //	                                  path (one-time compilation, option-
 //	                                  gated features); alloccheck traversal
 //	                                  stops here.
+//	//iocov:bounded-by <reason>       on a function, or on the line of (or
+//	                                  directly above) a go statement: the
+//	                                  launched goroutine's lifetime is bounded
+//	                                  by the stated external fact (process
+//	                                  exit, server shutdown) that leakcheck's
+//	                                  CFG reasoning cannot see. The reason is
+//	                                  mandatory.
+//	//iocov:deterministic             on a function: a determinism root. The
+//	                                  function and everything statically
+//	                                  reachable from it must be byte-stable —
+//	                                  no wall clock, no global RNG, no map
+//	                                  iteration order leaking into results,
+//	                                  no goroutine completion order
+//	                                  (determcheck).
 //
 // Annotations live in doc comments (and, for struct fields, trailing line
 // comments). The directive must start the comment line, matching the
@@ -49,8 +63,12 @@ func annotationsIn(groups ...*ast.CommentGroup) []string {
 
 // funcAnnotations describes the directives on one function declaration.
 type funcAnnotations struct {
-	hotpath  bool
-	coldpath bool
+	hotpath       bool
+	coldpath      bool
+	deterministic bool
+	// boundedBy holds the reason text of an //iocov:bounded-by directive;
+	// empty means the function carries none.
+	boundedBy string
 	// locked holds the lock expressions from //iocov:locked directives,
 	// e.g. "fs.mu" (one directive per lock).
 	locked []string
@@ -66,6 +84,12 @@ func parseFuncAnnotations(fd *ast.FuncDecl) funcAnnotations {
 			fa.hotpath = true
 		case "coldpath":
 			fa.coldpath = true
+		case "deterministic":
+			fa.deterministic = true
+		case "bounded-by":
+			if arg = strings.TrimSpace(arg); arg != "" {
+				fa.boundedBy = arg
+			}
 		case "locked":
 			if arg = strings.TrimSpace(arg); arg != "" {
 				fa.locked = append(fa.locked, arg)

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomcheck enforces all-or-nothing atomicity: once any code path touches a
+// variable or field through the sync/atomic package-level functions, every
+// other access must too. A single plain read racing an atomic.AddInt64 is
+// just as much a data race as two plain writes — the atomic call on one
+// side buys nothing — and unlike a loud crash, a torn read of a coverage
+// counter silently corrupts the statistics this project exists to report.
+//
+// The pass is whole-program and flow-insensitive by design: it collects the
+// referent of the &x argument of every sync/atomic call anywhere in the
+// module, then flags every other plain mention of the same object. The
+// declaration itself and composite-literal zero/explicit initialization are
+// exempt (initialization happens-before any goroutine can observe the
+// value); everything else — reads, writes, ++, taking the address for
+// non-atomic purposes — is a finding. Fields of the typed atomic.Int64
+// family never trip the pass: the type system already forbids plain access.
+type atomCheck struct{}
+
+// NewAtomCheck returns the mixed-atomic-access pass.
+func NewAtomCheck() Pass { return &atomCheck{} }
+
+func (c *atomCheck) Name() string { return "atomcheck" }
+
+func (c *atomCheck) Run(t *Target) []Finding {
+	// Pass 1: every object that is the referent of a sync/atomic call's &x
+	// argument, with the first such call site for the diagnostic, plus the
+	// sanctioned mention positions (the idents inside those arguments).
+	atomicAt := make(map[types.Object]token.Pos)
+	sanctioned := make(map[token.Pos]bool)
+	for _, pkg := range t.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true // atomic.Int64-style method: typed, safe
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				id := referentIdent(un.X)
+				if id == nil {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if v, ok := obj.(*types.Var); !ok || v == nil {
+					return true
+				}
+				if _, seen := atomicAt[obj]; !seen {
+					atomicAt[obj] = call.Pos()
+				}
+				sanctioned[id.Pos()] = true
+				return true
+			})
+		}
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every unsanctioned mention of an atomic object outside
+	// composite-literal initialization.
+	var findings []Finding
+	for _, pkg := range t.Pkgs {
+		for _, f := range pkg.Files {
+			initKeys := compositeLitKeys(f)
+			ast.Inspect(f, func(node ast.Node) bool {
+				id, ok := node.(*ast.Ident)
+				if !ok || sanctioned[id.Pos()] || initKeys[id.Pos()] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				site, isAtomic := atomicAt[obj]
+				if !isAtomic {
+					return true
+				}
+				p := t.Position(site)
+				findings = append(findings, Finding{
+					Pass: "atomcheck",
+					Pos:  t.Position(id.Pos()),
+					Message: fmt.Sprintf(
+						"%s is accessed atomically (sync/atomic call at %s:%d) but plainly here: every access must go through sync/atomic, or migrate to the typed atomic.%s family",
+						id.Name, p.Filename, p.Line, typedAtomicName(obj)),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// referentIdent returns the identifier naming the object &x refers to: x
+// itself for a variable, the field selector for x.f (through any chain of
+// selections), or nil when the operand is not a name (index expressions,
+// pointer dereferences).
+func referentIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// compositeLitKeys collects the positions of field keys inside composite
+// literals: `state{count: 0}` initializes count before the value escapes,
+// which is not a racy access.
+func compositeLitKeys(f *ast.File) map[token.Pos]bool {
+	keys := make(map[token.Pos]bool)
+	ast.Inspect(f, func(node ast.Node) bool {
+		lit, ok := node.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// typedAtomicName suggests the typed replacement for an object's underlying
+// type, defaulting to Value.
+func typedAtomicName(obj types.Object) string {
+	if b, ok := obj.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+		return "Pointer"
+	}
+	return "Value"
+}

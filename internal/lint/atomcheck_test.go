@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+// TestAtomCheckBadFixture pins every seeded mixed access to its line: one
+// finding per plain mention, nothing extra.
+func TestAtomCheckBadFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "atomcheck_bad")
+	findings := NewAtomCheck().Run(tgt)
+
+	wants := []struct {
+		anchor string // unique fixture text on the expected line
+		msg    string // substring of the finding message
+	}{
+		{"return c.hits", "hits is accessed atomically"},
+		{"c.hits = 0", "hits is accessed atomically"},
+		{"c.drops++", "drops is accessed atomically"},
+		{"return g < generation", "generation is accessed atomically"},
+	}
+	matched := make(map[int]bool)
+	for _, w := range wants {
+		wantLine := fixtureLine(t, "atomcheck_bad/bad.go", w.anchor)
+		found := false
+		for i, f := range findings {
+			if !matched[i] && f.Pos.Line == wantLine {
+				requireFinding(t, []Finding{f}, w.msg)
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding at line %d (%s)", wantLine, w.anchor)
+		}
+	}
+	f := requireFinding(t, findings, "atomic.Int64 family")
+	if f.Pass != "atomcheck" {
+		t.Errorf("finding pass = %s, want atomcheck", f.Pass)
+	}
+	if len(findings) != len(wants) {
+		for _, fd := range findings {
+			t.Logf("finding: %s", fd)
+		}
+		t.Errorf("atomcheck_bad produced %d findings, want %d", len(findings), len(wants))
+	}
+}
+
+// TestAtomCheckGoodFixture demands silence on disciplined atomics, typed
+// atomics, composite-literal init, and plain never-atomic fields.
+func TestAtomCheckGoodFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "atomcheck_good")
+	for _, f := range NewAtomCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

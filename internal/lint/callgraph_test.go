@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// graphNode finds a node by its display name in the fixture graph.
+func graphNode(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+// calleeNames renders a node's outgoing edges as "kind:callee" strings.
+func calleeNames(n *CGNode) []string {
+	var out []string
+	for _, e := range n.Out {
+		s := e.Kind.String() + ":" + e.Callee.Name()
+		if e.Go {
+			s = "go/" + s
+		}
+		if e.Defer {
+			s = "defer/" + s
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := fixtureTarget(t, "callgraph").CallGraph()
+
+	cases := []struct {
+		node string
+		want []string
+	}{
+		{"helperA", []string{"static:leaf"}},
+		{"helperB", []string{"static:dog.speak"}},
+		// Interface dispatch: both implementers, not the arity-mismatched
+		// robot.speak.
+		{"viaInterface", []string{"interface:dog.speak", "interface:cat.speak"}},
+		// Func-value dispatch: only address-taken signature matches — leaf
+		// is returned as a value in takeAddr, helperA never is.
+		{"viaFuncValue", []string{"funcvalue:leaf"}},
+		{"even", []string{"static:odd"}},
+		{"odd", []string{"static:even"}},
+		{"launcher", []string{"go/static:helperA", "defer/static:leaf", "static:viaInterface"}},
+	}
+	for _, c := range cases {
+		got := calleeNames(graphNode(t, g, c.node))
+		if strings.Join(got, " ") != strings.Join(c.want, " ") {
+			t.Errorf("%s edges = %v, want %v", c.node, got, c.want)
+		}
+	}
+
+	// takeAddr returns leaf as a value: no call edge.
+	if got := calleeNames(graphNode(t, g, "takeAddr")); len(got) != 0 {
+		t.Errorf("takeAddr edges = %v, want none", got)
+	}
+}
+
+func TestCallGraphSCC(t *testing.T) {
+	g := fixtureTarget(t, "callgraph").CallGraph()
+
+	even := graphNode(t, g, "even")
+	odd := graphNode(t, g, "odd")
+	leaf := graphNode(t, g, "leaf")
+	helperA := graphNode(t, g, "helperA")
+
+	if g.SCCOf(even.Obj) != g.SCCOf(odd.Obj) {
+		t.Errorf("even (scc %d) and odd (scc %d) should share a component",
+			g.SCCOf(even.Obj), g.SCCOf(odd.Obj))
+	}
+	if g.SCCOf(even.Obj) == g.SCCOf(leaf.Obj) {
+		t.Error("even and leaf should not share a component")
+	}
+	// Reverse topological order: a callee's component index is lower than
+	// its caller's.
+	if !(g.SCCOf(leaf.Obj) < g.SCCOf(helperA.Obj)) {
+		t.Errorf("leaf scc %d should precede helperA scc %d",
+			g.SCCOf(leaf.Obj), g.SCCOf(helperA.Obj))
+	}
+	// Every edge respects the order.
+	for _, n := range g.Nodes() {
+		for _, e := range n.Out {
+			if e.Callee.scc > n.scc {
+				t.Errorf("edge %s -> %s goes from scc %d to higher scc %d",
+					n.Name(), e.Callee.Name(), n.scc, e.Callee.scc)
+			}
+		}
+	}
+	if g.SCCOf((*types.Func)(nil)) != -1 {
+		t.Error("SCCOf(nil) should be -1")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := fixtureTarget(t, "callgraph").CallGraph()
+
+	launcher := graphNode(t, g, "launcher")
+
+	// Following every edge: launcher reaches helperA, leaf, viaInterface,
+	// and both interface implementations.
+	all := g.Reachable([]*types.Func{launcher.Obj}, nil)
+	for _, want := range []string{"launcher", "helperA", "leaf", "viaInterface", "dog.speak", "cat.speak"} {
+		if !all[graphNode(t, g, want).Obj] {
+			t.Errorf("launcher should reach %s following all edges", want)
+		}
+	}
+	if all[graphNode(t, g, "even").Obj] {
+		t.Error("launcher should not reach even")
+	}
+
+	// Static-only traversal stops at the interface boundary.
+	static := g.Reachable([]*types.Func{launcher.Obj}, func(e *CallSite) bool {
+		return e.Kind == CallStatic
+	})
+	if static[graphNode(t, g, "dog.speak").Obj] {
+		t.Error("static-only traversal should not cross the interface call")
+	}
+	if !static[graphNode(t, g, "viaInterface").Obj] {
+		t.Error("static-only traversal should still reach viaInterface")
+	}
+}

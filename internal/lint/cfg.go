@@ -243,7 +243,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 			b.edge(b.cur, join)
 		}
 		if len(st.Body.List) == 0 {
-			// select{} blocks forever; model as an edge to exit.
+			// select{} blocks forever; model as an edge to exit, keeping the
+			// statement in the block so leakcheck can tell this blocking
+			// "exit" apart from a genuine return.
+			head.Nodes = append(head.Nodes, st)
 			b.edge(head, b.exit)
 		}
 		b.popLoop(frame)

@@ -1,0 +1,46 @@
+package lint
+
+import "testing"
+
+// TestDetermCheckBadFixture pins every seeded nondeterminism source to its
+// line: one finding per rule, nothing extra.
+func TestDetermCheckBadFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "determcheck_bad")
+	findings := NewDetermCheck().Run(tgt)
+
+	wants := []struct {
+		anchor string // unique fixture text on the expected line
+		msg    string // substring of the finding message
+	}{
+		{"return time.Now()", "calls time.Now"},
+		{"return rand.Int()", "global RNG (rand.Int)"},
+		{"go background()", "starts a goroutine"},
+		{"keys = append(keys, k)", "appends to keys in map iteration order and never sorts it"},
+		{"sum += float64(n) / 2", "accumulates a non-integer (float64)"},
+		{"last = k", "overwrites last in map iteration order"},
+		{"fmt.Println(k)", "evaluates a statement for each entry"},
+		{"return name", "returns from inside a map iteration"},
+	}
+	for _, w := range wants {
+		f := requireFinding(t, findings, w.msg)
+		if wantLine := fixtureLine(t, "determcheck_bad/bad.go", w.anchor); f.Pos.Line != wantLine {
+			t.Errorf("finding %q at line %d, want line %d (%s)", w.msg, f.Pos.Line, wantLine, w.anchor)
+		}
+	}
+	if len(findings) != len(wants) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("determcheck_bad produced %d findings, want %d", len(findings), len(wants))
+	}
+}
+
+// TestDetermCheckGoodFixture demands silence on the order-independent
+// idioms: sorted keys, integer accumulation, map writes, loop-locals, max
+// selection, washed appends, seeded RNG, duration arithmetic.
+func TestDetermCheckGoodFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "determcheck_good")
+	for _, f := range NewDetermCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable shape of one finding: the schema
+// iocovlint -json emits, one object per line. File/Line/Col are omitted for
+// findings without a source position (registry probes on compiled-in
+// values).
+type JSONFinding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
+// WriteJSON encodes findings as newline-delimited JSON objects, the
+// iocovlint -json output format. The encoding lives here, beside the
+// Finding type, so the CLI and the golden-schema tests share one
+// definition.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		jf := JSONFinding{
+			Pass:    f.Pass,
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Message: f.Message,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// leakcheck proves that every goroutine the repository launches can exit.
+// A goroutine with no exit path outlives its purpose, pins its stack and
+// captured references forever, and — worst for this codebase — can keep a
+// coverage snapshot or an HTTP response body reachable across an entire
+// fuzzing campaign.
+//
+// Two rules, both interprocedural over the shared call graph:
+//
+//  1. Exit path: the body launched by every `go` statement must be able to
+//     reach its CFG exit. For a `go func() {...}()` literal the pass checks
+//     the literal's own CFG; for `go f(...)` it checks the may-return fact of
+//     every callee the call-graph edge set names. May-return is a fixpoint
+//     over the SCC condensation: a function may return when its CFG exit is
+//     reachable treating calls to no-return functions as severing the block,
+//     so mutual recursion with no base case and loops that only spin are
+//     both caught. An empty select{} blocks forever and severs like a
+//     no-return call.
+//
+//  2. Abandoned send: a send on an unbuffered, function-local channel from
+//     inside a launched goroutine leaks when every receive in the launching
+//     function sits inside a select with other cases — the select can commit
+//     to a different case (a timeout, a cancellation) and then nothing ever
+//     drains the channel, parking the goroutine forever. Buffering the
+//     channel by one is the standard fix and silences the rule.
+//
+// Goroutines whose unbounded lifetime is intentional carry an
+// //iocov:bounded-by <reason> directive, either on the launching function's
+// doc comment or on (or directly above) the go statement itself.
+type leakCheck struct{}
+
+// NewLeakCheck returns the goroutine-leak pass.
+func NewLeakCheck() Pass { return &leakCheck{} }
+
+func (c *leakCheck) Name() string { return "leakcheck" }
+
+func (c *leakCheck) Run(t *Target) []Finding {
+	an := &leakAnalysis{
+		t:         t,
+		g:         t.CallGraph(),
+		mayReturn: make(map[*CGNode]bool),
+		cfgs:      make(map[*ast.BlockStmt]*CFG),
+		edgesAt:   make(map[*CGNode]map[token.Pos][]*CallSite),
+	}
+	an.solveMayReturn()
+	for _, n := range an.g.Nodes() {
+		an.checkGoroutines(n)
+		an.checkAbandonedSends(n)
+	}
+	return an.findings
+}
+
+type leakAnalysis struct {
+	t *Target
+	g *CallGraph
+	// mayReturn records, per function, whether its CFG exit is reachable;
+	// absent means false (the optimistic fixpoint start).
+	mayReturn map[*CGNode]bool
+	// cfgs caches one CFG per body across fixpoint iterations.
+	cfgs map[*ast.BlockStmt]*CFG
+	// edgesAt indexes each node's outgoing call sites by call position.
+	edgesAt map[*CGNode]map[token.Pos][]*CallSite
+	// boundedLines maps filename -> line numbers carrying an
+	// //iocov:bounded-by comment, built lazily from the parsed comments.
+	boundedLines map[string]map[int]bool
+	findings     []Finding
+}
+
+func (an *leakAnalysis) report(pos token.Pos, format string, args ...any) {
+	an.findings = append(an.findings, Finding{
+		Pass:    "leakcheck",
+		Pos:     an.t.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// solveMayReturn computes the may-return fact for every function. The SCC
+// condensation is in reverse topological order, so every callee outside the
+// current component is already solved; within a component the loop iterates
+// to the least fixpoint from the optimistic "does not return" start.
+func (an *leakAnalysis) solveMayReturn() {
+	for _, comp := range an.g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if an.mayReturn[n] {
+					continue
+				}
+				if an.exitReachable(n.Decl.Body, n) {
+					an.mayReturn[n] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// exitReachable reports whether body's CFG exit is reachable from its entry,
+// treating a call whose every callee cannot return — and an empty select —
+// as severing the rest of the block. owner is the declaration the body
+// belongs to (the call-graph node whose edges resolve the body's calls,
+// including calls inside its closures).
+func (an *leakAnalysis) exitReachable(body *ast.BlockStmt, owner *CGNode) bool {
+	g := an.cfgs[body]
+	if g == nil {
+		g = BuildCFG(body)
+		an.cfgs[body] = g
+	}
+	seen := make(map[*Block]bool)
+	stack := []*Block{g.Blocks[0]}
+	seen[g.Blocks[0]] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == g.Exit {
+			return true
+		}
+		if an.blockSevers(blk, owner, body) {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// blockSevers reports whether control cannot flow past blk's node list: the
+// block contains an empty select or a call that never returns.
+func (an *leakAnalysis) blockSevers(blk *Block, owner *CGNode, body *ast.BlockStmt) bool {
+	for _, node := range blk.Nodes {
+		severs := false
+		ast.Inspect(node, func(nd ast.Node) bool {
+			if severs {
+				return false
+			}
+			switch x := nd.(type) {
+			case *ast.FuncLit:
+				// A closure's body runs on its own activation; the subject
+				// body's CFG placed it here only as a value.
+				if x.Body != body {
+					return false
+				}
+			case *ast.GoStmt, *ast.DeferStmt:
+				// Launching never blocks; deferred calls run after the
+				// function has already reached its exit edge.
+				return false
+			case *ast.SelectStmt:
+				if len(x.Body.List) == 0 {
+					severs = true
+					return false
+				}
+			case *ast.CallExpr:
+				if !an.callMayReturn(x, owner) {
+					severs = true
+					return false
+				}
+			}
+			return true
+		})
+		if severs {
+			return true
+		}
+	}
+	return false
+}
+
+// callMayReturn resolves a call through the owner's call-graph edges: the
+// call may return when any possible callee may return. Calls with no
+// in-module edges (standard library, bodyless declarations) are assumed to
+// return: even os.Exit-style terminators end the whole process, which is not
+// a leak.
+func (an *leakAnalysis) callMayReturn(call *ast.CallExpr, owner *CGNode) bool {
+	edges := an.edges(owner)[call.Pos()]
+	if len(edges) == 0 {
+		return true
+	}
+	for _, e := range edges {
+		if an.mayReturn[e.Callee] {
+			return true
+		}
+	}
+	return false
+}
+
+// edges returns owner's call sites indexed by position, building the index
+// on first use.
+func (an *leakAnalysis) edges(owner *CGNode) map[token.Pos][]*CallSite {
+	m := an.edgesAt[owner]
+	if m == nil {
+		m = make(map[token.Pos][]*CallSite, len(owner.Out))
+		for _, e := range owner.Out {
+			m[e.Pos] = append(m[e.Pos], e)
+		}
+		an.edgesAt[owner] = m
+	}
+	return m
+}
+
+// checkGoroutines applies the exit-path rule to every go statement in n's
+// body (closures included: they launch under n's name).
+func (an *leakAnalysis) checkGoroutines(n *CGNode) {
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		gs, ok := node.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if an.suppressed(n, gs.Pos()) {
+			return true
+		}
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			if !an.exitReachable(lit.Body, n) {
+				an.report(gs.Pos(), "goroutine has no provable exit path: give the loop a context/done-channel case, bound it, or annotate the launch //iocov:bounded-by <reason>")
+			}
+			return true
+		}
+		for _, e := range an.edges(n)[gs.Call.Pos()] {
+			if !e.Go || an.mayReturn[e.Callee] || e.Callee.FA.boundedBy != "" {
+				continue
+			}
+			an.report(gs.Pos(), "goroutine %s never returns: give it an exit path or annotate it //iocov:bounded-by <reason>", e.Callee.Name())
+		}
+		return true
+	})
+}
+
+// checkAbandonedSends applies the abandoned-send rule to every unbuffered
+// channel created locally in n's body.
+func (an *leakAnalysis) checkAbandonedSends(n *CGNode) {
+	info := n.Pkg.Info
+	body := n.Decl.Body
+
+	// The position extents of every go-launched closure in the body: a send
+	// is "inside a goroutine" when a launched literal encloses it.
+	type extent struct{ lo, hi token.Pos }
+	var launched []extent
+	var goPosOf func(p token.Pos) token.Pos // launch-site position for suppression
+	var launchPos []token.Pos
+	ast.Inspect(body, func(node ast.Node) bool {
+		gs, ok := node.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			launched = append(launched, extent{lit.Body.Pos(), lit.Body.End()})
+			launchPos = append(launchPos, gs.Pos())
+		}
+		return true
+	})
+	if len(launched) == 0 {
+		return
+	}
+	goPosOf = func(p token.Pos) token.Pos {
+		for i, e := range launched {
+			if e.lo <= p && p < e.hi {
+				return launchPos[i]
+			}
+		}
+		return token.NoPos
+	}
+
+	for _, ch := range localUnbufferedChans(info, body) {
+		var sends []token.Pos // sends inside launched goroutines
+		var plainRecv bool    // a receive outside any guarded select
+		var guardedRecv bool  // a receive inside a select with options
+		accounted := map[token.Pos]bool{ch.def: true}
+		escapes := false
+
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.SendStmt:
+				if id, ok := ast.Unparen(x.Chan).(*ast.Ident); ok && info.Uses[id] == ch.obj {
+					accounted[id.Pos()] = true
+					if gp := goPosOf(x.Pos()); gp != token.NoPos {
+						sends = append(sends, x.Pos())
+					} else {
+						// A send from the launching function itself: pairing
+						// is symmetric and out of this rule's scope.
+						escapes = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op != token.ARROW {
+					return true
+				}
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && info.Uses[id] == ch.obj {
+					accounted[id.Pos()] = true
+					if inGuardedSelect(body, x.Pos()) {
+						guardedRecv = true
+					} else if goPosOf(x.Pos()) == token.NoPos {
+						plainRecv = true
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && info.Uses[id] == ch.obj {
+					// range drains until close: a receiver is always there.
+					accounted[id.Pos()] = true
+					plainRecv = true
+				}
+			case *ast.CallExpr:
+				// close(ch) and len/cap(ch) do not move data.
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					switch id.Name {
+					case "close", "len", "cap":
+						if arg, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && info.Uses[arg] == ch.obj {
+							accounted[arg.Pos()] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		// Any remaining use means the channel escapes (passed, stored,
+		// returned): another receiver may exist, so stay silent.
+		ast.Inspect(body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok || accounted[id.Pos()] {
+				return true
+			}
+			if info.Uses[id] == ch.obj {
+				escapes = true
+			}
+			return true
+		})
+		if escapes || plainRecv || !guardedRecv {
+			continue
+		}
+		for _, pos := range sends {
+			if an.suppressed(n, goPosOf(pos)) || an.suppressed(n, pos) {
+				continue
+			}
+			an.report(pos, "send on unbuffered channel %s can block forever: every receive sits in a select with other cases, so the goroutine is abandoned when another case wins; buffer the channel (make(chan T, 1)) or drain it", ch.name)
+		}
+	}
+}
+
+// localChan is one `ch := make(chan T)` (unbuffered) in a function body.
+type localChan struct {
+	obj  types.Object
+	name string
+	def  token.Pos
+}
+
+// localUnbufferedChans finds the unbuffered channels a body creates and
+// binds to simple local variables.
+func localUnbufferedChans(info *types.Info, body *ast.BlockStmt) []localChan {
+	var out []localChan
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fn.Name != "make" {
+				continue
+			}
+			if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+				continue
+			}
+			if len(call.Args) > 1 && !isZeroConst(info, call.Args[1]) {
+				continue // buffered
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue // reassignment, not a fresh local
+			}
+			out = append(out, localChan{obj: obj, name: id.Name, def: id.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+// isZeroConst reports whether the type checker folded e to the constant 0.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// inGuardedSelect reports whether pos falls inside a select statement that
+// has an alternative to the communicating case (a second case or a default):
+// the select can resolve without that receive ever happening.
+func inGuardedSelect(body *ast.BlockStmt, pos token.Pos) bool {
+	guarded := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		if sel.Pos() <= pos && pos < sel.End() && len(sel.Body.List) > 1 {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+// suppressed reports whether the launch (or send) at pos is covered by an
+// //iocov:bounded-by directive: on the owning declaration's doc comment, on
+// the same line, or on the line directly above.
+func (an *leakAnalysis) suppressed(n *CGNode, pos token.Pos) bool {
+	if pos == token.NoPos {
+		return false
+	}
+	if n.FA.boundedBy != "" {
+		return true
+	}
+	if an.boundedLines == nil {
+		an.boundedLines = make(map[string]map[int]bool)
+		for _, pkg := range an.t.Pkgs {
+			for _, f := range pkg.Files {
+				for _, grp := range f.Comments {
+					for _, c := range grp.List {
+						if !strings.HasPrefix(c.Text, annotationPrefix+"bounded-by") {
+							continue
+						}
+						p := an.t.Position(c.Pos())
+						lines := an.boundedLines[p.Filename]
+						if lines == nil {
+							lines = make(map[int]bool)
+							an.boundedLines[p.Filename] = lines
+						}
+						lines[p.Line] = true
+					}
+				}
+			}
+		}
+	}
+	p := an.t.Position(pos)
+	lines := an.boundedLines[p.Filename]
+	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+}

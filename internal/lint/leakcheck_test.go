@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeakCheckBadFixture pins every seeded goroutine leak to its line: one
+// finding per rule, nothing extra.
+func TestLeakCheckBadFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "leakcheck_bad")
+	findings := NewLeakCheck().Run(tgt)
+
+	// The two literal launches share a message, so every expectation is
+	// pinned by (line, message-substring). Launch statements sit two lines
+	// below their function's doc comment.
+	wants := []struct {
+		anchor string // unique fixture text; the finding is offset lines below
+		offset int
+		msg    string
+	}{
+		{"go spinner()", 0, "goroutine spinner never returns"},
+		{"go pingpongA()", 0, "goroutine pingpongA never returns"},
+		{"// LaunchLiteral", 2, "no provable exit path"},
+		{"// LaunchBlocked", 2, "no provable exit path"},
+		{"ch <- compute()", 0, "send on unbuffered channel ch can block forever"},
+	}
+	matched := make(map[int]bool) // finding index -> consumed
+	for _, w := range wants {
+		wantLine := fixtureLine(t, "leakcheck_bad/bad.go", w.anchor) + w.offset
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.Pos.Line != wantLine {
+				continue
+			}
+			if !strings.Contains(f.Message, w.msg) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("no finding %q at line %d", w.msg, wantLine)
+		}
+	}
+	if len(findings) != len(wants) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("leakcheck_bad produced %d findings, want %d", len(findings), len(wants))
+	}
+}
+
+// TestLeakCheckGoodFixture demands silence on the exiting idioms: channel
+// ranges, done/context selects, bounded loops, buffered and blocking
+// receives, escaping channels, and //iocov:bounded-by acknowledgements.
+func TestLeakCheckGoodFixture(t *testing.T) {
+	tgt := fixtureTarget(t, "leakcheck_good")
+	for _, f := range NewLeakCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

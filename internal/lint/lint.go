@@ -24,10 +24,28 @@
 //   - alloccheck: functions reachable from //iocov:hotpath roots are proven
 //     free of allocating constructs, making the zero-allocation contract
 //     static — the AllocsPerRun regressions self-skip under -race, this
-//     pass does not.
+//     pass does not;
+//   - leakcheck: every goroutine launch must have a provable exit path —
+//     the launched function may return on some CFG path, or the launch
+//     carries an //iocov:bounded-by annotation; sends on unbuffered local
+//     channels whose every receive sits in a multi-case select are flagged
+//     as abandonable;
+//   - atomcheck: an object accessed through sync/atomic package-level calls
+//     anywhere must be accessed that way everywhere — one plain read beside
+//     an atomic increment is a data race the race detector only catches
+//     when the schedule cooperates;
+//   - determcheck: functions statically reachable from //iocov:deterministic
+//     roots must not read the wall clock, use the global RNG, launch
+//     goroutines, or leak map iteration order into their results (append
+//     inside a map range is tainted until a subsequent sort washes it).
 //
 // shardcheck additionally holds internal/server (the iocovd daemon) to its
 // no-package-level-writes rule, with the wall-clock rules relaxed.
+//
+// The interprocedural passes (alloccheck, leakcheck, determcheck) share one
+// lazily built package-spanning call graph (see callgraph.go): static edges
+// from resolved callees, conservative edges from interface method sets and
+// func-value flow, condensed into SCCs for fixpoint analyses.
 //
 // The suite is built only on the standard library's go/parser, go/ast,
 // go/token and go/types packages; repository packages are type-checked
@@ -84,6 +102,9 @@ func AllPasses() []Pass {
 		NewHTTPCheck(),
 		NewLockCheck(),
 		NewAllocCheck(),
+		NewLeakCheck(),
+		NewAtomCheck(),
+		NewDetermCheck(),
 	}
 }
 

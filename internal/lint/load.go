@@ -35,6 +35,9 @@ type Target struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+	// cg is the lazily built module call graph (see callgraph.go), shared
+	// by every whole-program pass of one run.
+	cg *CallGraph
 }
 
 // Package returns the loaded package with the given import path, or nil.

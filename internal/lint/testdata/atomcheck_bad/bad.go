@@ -1,0 +1,41 @@
+// Package atomcheck_bad seeds one mixed atomic/plain access per atomcheck
+// rule; the test pins each finding to its line.
+package atomcheck_bad
+
+import "sync/atomic"
+
+// counters mixes atomic and plain access to the same fields.
+type counters struct {
+	hits  int64
+	drops uint32
+}
+
+// Hit is the atomic side: it puts hits and drops into the atomic set.
+func (c *counters) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.StoreUint32(&c.drops, 0)
+}
+
+// Snapshot reads hits plainly: a torn read on 32-bit platforms and a data
+// race everywhere.
+func (c *counters) Snapshot() int64 {
+	return c.hits
+}
+
+// Reset writes both plainly.
+func (c *counters) Reset() {
+	c.hits = 0
+	c.drops++
+}
+
+// generation is a package-level atomic.
+var generation uint64
+
+func Bump() {
+	atomic.AddUint64(&generation, 1)
+}
+
+// Stale reads generation without the atomic load.
+func Stale(g uint64) bool {
+	return g < generation
+}

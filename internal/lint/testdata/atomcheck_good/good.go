@@ -1,0 +1,46 @@
+// Package atomcheck_good holds the access patterns atomcheck must stay
+// silent on: all-atomic discipline, composite-literal initialization, the
+// typed atomic family, and plain fields never touched atomically.
+package atomcheck_good
+
+import "sync/atomic"
+
+// counters keeps every access to its atomic fields atomic.
+type counters struct {
+	hits int64
+	// seq uses the typed API: the compiler enforces the discipline, the
+	// pass has nothing to add.
+	seq atomic.Int64
+	// name is plain data, never touched atomically.
+	name string
+}
+
+// NewCounters initializes hits in a composite literal, which
+// happens-before any goroutine can hold the pointer.
+func NewCounters() *counters {
+	return &counters{hits: 0, name: "root"}
+}
+
+func (c *counters) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	c.seq.Add(1)
+}
+
+func (c *counters) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits) + c.seq.Load()
+}
+
+func (c *counters) Name() string { return c.name }
+
+func (c *counters) SetName(n string) { c.name = n }
+
+// generation is package-level and all-atomic.
+var generation uint64
+
+func Bump() uint64 {
+	return atomic.AddUint64(&generation, 1)
+}
+
+func Current() uint64 {
+	return atomic.LoadUint64(&generation)
+}

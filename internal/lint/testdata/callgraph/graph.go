@@ -1,0 +1,61 @@
+// Package callgraph is the call-graph builder's fixture: one example of
+// every edge kind (static function, static method, interface dispatch,
+// func-value dispatch, go and defer launch sites) plus a mutual-recursion
+// cycle for the SCC condensation.
+package callgraph
+
+type speaker interface {
+	speak() string
+}
+
+type dog struct{}
+
+func (dog) speak() string { return "woof" }
+
+type cat struct{}
+
+func (cat) speak() string { return "meow" }
+
+// robot has a speak with a different signature: not an implementer.
+type robot struct{}
+
+func (robot) speak(times int) string { return "beep" }
+
+func leaf() int { return 1 }
+
+func helperA() int { return leaf() }
+
+func helperB(d dog) string { return d.speak() }
+
+// viaInterface dispatches through the interface: conservative edges to both
+// dog.speak and cat.speak, not robot.speak.
+func viaInterface(s speaker) string { return s.speak() }
+
+// viaFuncValue calls a function value: conservative edges to every
+// address-taken func with signature func() int — leaf (taken in takeAddr)
+// but not helperA (never taken as a value).
+func viaFuncValue(f func() int) int { return f() }
+
+func takeAddr() func() int { return leaf }
+
+// even and odd are mutually recursive: one SCC of size two.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// launcher has a go site and a defer site.
+func launcher() {
+	go helperA()
+	defer leaf()
+	_ = viaInterface(dog{})
+}

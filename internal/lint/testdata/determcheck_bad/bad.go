@@ -1,0 +1,48 @@
+// Package determcheck_bad seeds one nondeterminism source per determcheck
+// rule; the test pins each finding to its line.
+package determcheck_bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Emit is a determinism root reaching every call-level violation.
+//
+//iocov:deterministic
+func Emit(m map[string]int64) []string {
+	stamp()
+	shuffle()
+	go background()
+	var keys []string
+	var sum float64
+	var last string
+	for k, n := range m {
+		keys = append(keys, k)
+		sum += float64(n) / 2
+		last = k
+		fmt.Println(k)
+	}
+	_ = sum
+	_ = last
+	return keys
+}
+
+// stamp is reachable from Emit: the wall clock read is flagged here.
+func stamp() time.Time { return time.Now() }
+
+// shuffle is reachable from Emit: the global RNG draw is flagged here.
+func shuffle() int { return rand.Int() }
+
+func background() {}
+
+// First leaks map order through its return value.
+//
+//iocov:deterministic
+func First(m map[string]bool) string {
+	for name := range m {
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,96 @@
+// Package determcheck_good holds the order-independent idioms determcheck
+// must stay silent on: sorted-key iteration, integer accumulation, map
+// writes, loop-local work, max selection, washed appends (direct and
+// through a module sorter), seeded RNG, and non-wall-clock time use.
+package determcheck_good
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Render exercises every allowed shape inside map iterations.
+//
+//iocov:deterministic
+func Render(m map[string]int64) string {
+	// Washed append: collected in map order, sorted before use.
+	keys := make([]string, 0, len(m))
+	var total int64
+	max := int64(0)
+	hits := make(map[string]int64, len(m))
+	for k, n := range m {
+		keys = append(keys, k)
+		total += n
+		if n > max {
+			max = n
+		}
+		hits[k] = n
+		scratch := k + "!"
+		_ = scratch
+	}
+	sort.Strings(keys)
+
+	// Float accumulation is fine over a sorted slice.
+	var sum float64
+	for _, k := range keys {
+		sum += float64(m[k]) / float64(total+1)
+	}
+
+	// Nested map range with entry-wise writes only.
+	groups := map[string]map[string]int64{"a": m}
+	counts := make(map[string]int64)
+	for _, g := range groups {
+		for k, n := range g {
+			counts[k] += n
+		}
+	}
+
+	// delete commutes entry-by-entry.
+	for k := range hits {
+		if hits[k] == 0 {
+			delete(hits, k)
+		}
+	}
+
+	_ = sum
+	_ = max
+	return join(keys)
+}
+
+// Collect washes its append through a module sorter.
+//
+//iocov:deterministic
+func Collect(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return sortedCopy(out)
+}
+
+// sortedCopy is recognized as a sorter because its body calls sort.Strings.
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// Seeded is deterministic: a fixed-seed generator and a duration constant.
+//
+//iocov:deterministic
+func Seeded() (int, time.Duration) {
+	r := rand.New(rand.NewSource(42))
+	return r.Int(), 3 * time.Second
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package leakcheck_bad seeds one goroutine leak per leakcheck rule; the
+// test pins each finding to its line.
+package leakcheck_bad
+
+import "time"
+
+func work() {}
+
+func compute() int { return 42 }
+
+// spinner never returns: an unconditional loop with no break or return.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// pingpongA and pingpongB recurse into each other with no base case; the
+// SCC fixpoint proves neither can return.
+func pingpongA() { pingpongB() }
+
+func pingpongB() { pingpongA() }
+
+// LaunchNamed leaks a named goroutine that never returns.
+func LaunchNamed() {
+	go spinner()
+}
+
+// LaunchMutual leaks through mutual recursion: per-function reasoning sees
+// a call that "might" return; the component-level fixpoint knows better.
+func LaunchMutual() {
+	go pingpongA()
+}
+
+// LaunchLiteral leaks a closure whose loop has no exit.
+func LaunchLiteral() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// LaunchBlocked leaks a closure that parks on an empty select.
+func LaunchBlocked() {
+	go func() {
+		work()
+		select {}
+	}()
+}
+
+// FetchWithTimeout abandons its worker: when the timeout case wins, nothing
+// ever receives from ch and the send blocks forever.
+func FetchWithTimeout() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return -1
+	}
+}

@@ -1,0 +1,127 @@
+// Package leakcheck_good holds the goroutine idioms leakcheck must stay
+// silent on: closed-channel ranges, done-channel and context loops, bounded
+// loops, buffered and guaranteed-drained channels, escaping channels, and
+// intentionally unbounded goroutines carrying //iocov:bounded-by.
+package leakcheck_good
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// Pool's workers exit when the jobs channel closes: a range over a channel
+// always has the close as its exit path.
+func Pool(jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_ = j
+				work()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Ticker's loop exits through the done case.
+func Ticker(done chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// CtxLoop exits when the context is cancelled.
+func CtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Bounded's loop condition terminates it.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// FetchBuffered is the fixed form of the abandoned-send leak: the buffer
+// slot lets the worker's send complete even when the timeout case wins.
+func FetchBuffered() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 7 }()
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return -1
+	}
+}
+
+// FetchBlocking receives unconditionally: the worker's send always pairs.
+func FetchBlocking() int {
+	ch := make(chan int)
+	go func() { ch <- 7 }()
+	return <-ch
+}
+
+// FetchEscaping hands the channel to its caller, who may drain it later;
+// the pass cannot prove abandonment and stays silent.
+func FetchEscaping() (chan int, int) {
+	ch := make(chan int)
+	go func() { ch <- 7 }()
+	select {
+	case v := <-ch:
+		return ch, v
+	case <-time.After(time.Millisecond):
+		return ch, -1
+	}
+}
+
+// metricsPump runs for the whole process lifetime by design.
+//
+//iocov:bounded-by process lifetime: pump runs until exit
+func metricsPump() {
+	for {
+		work()
+	}
+}
+
+// LaunchAnnotatedDecl launches a goroutine whose declaration acknowledges
+// its unbounded lifetime.
+func LaunchAnnotatedDecl() {
+	go metricsPump()
+}
+
+// LaunchAnnotatedSite acknowledges the lifetime at the launch site instead.
+func LaunchAnnotatedSite() {
+	//iocov:bounded-by process lifetime: background refresher
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
