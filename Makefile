@@ -12,6 +12,7 @@
 #   make fuzz     - short fuzz passes over the binary trace codec
 #   make smoke    - end-to-end iocovd daemon smoke test (ingest, report,
 #                   metrics, graceful shutdown, checkpoint-restore identity)
+#                   plus the CPU-aware parallel-scaling wall-clock check
 #   make bench    - serial-vs-parallel suite benchmarks
 #   make bench-json - full benchmark suite, parsed to BENCH_$(LABEL).json
 #                   (ns/op, B/op, allocs/op per benchmark) for the perf
@@ -44,6 +45,7 @@ fuzz:
 
 smoke:
 	./scripts/smoke_iocovd.sh
+	./scripts/smoke_parallel.sh
 
 bench:
 	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .

@@ -1,7 +1,7 @@
 // Benchmarks for the iocovd ingest path: pre-serialized binary trace
 // streams POSTed through a loopback daemon, 1 vs N concurrent sessions.
 // The contended case measures the whole pipeline — HTTP transport, binary
-// parse, per-session filter+analyzer, and the mutex-serialized store merge.
+// parse, per-session pooled filter+analyzer, and the striped store merge.
 package iocov
 
 import (
@@ -53,7 +53,15 @@ func BenchmarkIngestThroughput(b *testing.B) {
 			}
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
-			client := &http.Client{}
+			// The default transport keeps only 2 idle conns per host, so at
+			// streams=8 three quarters of the sockets are torn down and
+			// redialed every iteration — connection churn that would be
+			// misread as ingest cost. Size the idle pool to the stream count.
+			client := &http.Client{Transport: &http.Transport{
+				MaxIdleConns:        streams,
+				MaxIdleConnsPerHost: streams,
+			}}
+			defer client.CloseIdleConnections()
 			b.SetBytes(int64(len(payload) * streams))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -3,6 +3,16 @@
 // across PRs:
 //
 //	go test -run xxx -bench . -benchmem . | benchjson -label pr3 -o BENCH_pr3.json
+//
+// With -compare it instead diffs two such JSON files and prints a
+// per-benchmark delta table:
+//
+//	benchjson -compare BENCH_pr7.json BENCH_pr8.json
+//
+// Comparison exit codes: 0 when every shared benchmark is within the
+// regression thresholds, 1 when one regressed past -threshold (ns/op) or
+// -memthreshold (B/op), 2 on usage or parse errors — so CI can
+// distinguish "perf regressed" from "the tool broke".
 package main
 
 import (
@@ -14,37 +24,94 @@ import (
 	"iocov/internal/benchparse"
 )
 
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(code)
+}
+
 func main() {
 	label := flag.String("label", "dev", "run label recorded in the JSON")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files given as arguments")
+	nsThreshold := flag.Float64("threshold", 1.30,
+		"ns/op regression ratio tripping exit 1 in -compare mode (<= 0 disables)")
+	memThreshold := flag.Float64("memthreshold", 2.0,
+		"B/op regression ratio tripping exit 1 in -compare mode (<= 0 disables)")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *nsThreshold, *memThreshold)
+		return
+	}
 
 	run, err := benchparse.Parse(os.Stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(1, "%v", err)
 	}
 	if len(run.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
-		os.Exit(1)
+		fail(1, "no benchmark results on stdin")
 	}
 	run.Label = *label
 
 	enc, err := json.MarshalIndent(run, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(1, "%v", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
 		if _, err := os.Stdout.Write(enc); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
+			fail(1, "%v", err)
 		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(1, "%v", err)
 	}
+}
+
+// loadRun reads one benchjson-written JSON file.
+func loadRun(path string) (benchparse.Run, error) {
+	var run benchparse.Run
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return run, err
+	}
+	if err := json.Unmarshal(data, &run); err != nil {
+		return run, fmt.Errorf("%s: %w", path, err)
+	}
+	return run, nil
+}
+
+// runCompare diffs old vs new and exits 1 when a shared benchmark
+// regressed past a threshold.
+func runCompare(args []string, nsThreshold, memThreshold float64) {
+	if len(args) != 2 {
+		fail(2, "-compare needs exactly two files: benchjson -compare old.json new.json")
+	}
+	oldRun, err := loadRun(args[0])
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	newRun, err := loadRun(args[1])
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	deltas := benchparse.Compare(oldRun, newRun)
+	if len(deltas) == 0 {
+		fail(2, "no benchmarks in either file")
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n\n", args[0], oldRun.Label, args[1], newRun.Label)
+	if err := benchparse.WriteDeltas(os.Stdout, deltas); err != nil {
+		fail(2, "%v", err)
+	}
+	regressed := benchparse.Regressions(deltas, nsThreshold, memThreshold)
+	if len(regressed) == 0 {
+		return
+	}
+	fmt.Printf("\n%d benchmark(s) regressed past thresholds (ns/op > %.2fx, B/op > %.2fx):\n",
+		len(regressed), nsThreshold, memThreshold)
+	for _, d := range regressed {
+		fmt.Printf("  %s: %.2fx ns/op, %.2fx B/op\n", d.Name, d.NsRatio, d.BytesRatio)
+	}
+	os.Exit(1)
 }

@@ -1,0 +1,145 @@
+package benchparse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is one benchmark's old-vs-new comparison. Ratios are new/old, so
+// 1.0 means unchanged and 2.0 means twice as slow (or twice the bytes);
+// a ratio is 0 when the old value was 0 (nothing to compare against).
+type Delta struct {
+	Name string `json:"name"`
+
+	OldNs   float64 `json:"old_ns_per_op"`
+	NewNs   float64 `json:"new_ns_per_op"`
+	NsRatio float64 `json:"ns_ratio"`
+
+	OldBytes   int64   `json:"old_bytes_per_op"`
+	NewBytes   int64   `json:"new_bytes_per_op"`
+	BytesRatio float64 `json:"bytes_ratio"`
+
+	OldAllocs   int64   `json:"old_allocs_per_op"`
+	NewAllocs   int64   `json:"new_allocs_per_op"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+
+	// OnlyOld/OnlyNew mark benchmarks present in just one run (renamed,
+	// added, or removed); their ratios are meaningless and left 0.
+	OnlyOld bool `json:"only_old,omitempty"`
+	OnlyNew bool `json:"only_new,omitempty"`
+}
+
+// ratio returns new/old, or 0 when old is 0.
+func ratio(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return newV / oldV
+}
+
+// Compare matches two runs' results by benchmark name and returns one
+// Delta per name, sorted. Benchmarks appearing in only one run are
+// included with the corresponding OnlyOld/OnlyNew flag so a comparison
+// never silently drops a renamed or deleted benchmark.
+func Compare(oldRun, newRun Run) []Delta {
+	oldBy := make(map[string]Result, len(oldRun.Results))
+	for _, r := range oldRun.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(newRun.Results))
+	for _, r := range newRun.Results {
+		newBy[r.Name] = r
+	}
+
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	for name := range newBy {
+		if _, dup := oldBy[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	deltas := make([]Delta, 0, len(names))
+	for _, name := range names {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		d := Delta{Name: name}
+		switch {
+		case inOld && inNew:
+			d.OldNs, d.NewNs, d.NsRatio = o.NsPerOp, n.NsPerOp, ratio(o.NsPerOp, n.NsPerOp)
+			d.OldBytes, d.NewBytes = o.BytesPerOp, n.BytesPerOp
+			d.BytesRatio = ratio(float64(o.BytesPerOp), float64(n.BytesPerOp))
+			d.OldAllocs, d.NewAllocs = o.AllocsPerOp, n.AllocsPerOp
+			d.AllocsRatio = ratio(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
+		case inOld:
+			d.OnlyOld = true
+			d.OldNs, d.OldBytes, d.OldAllocs = o.NsPerOp, o.BytesPerOp, o.AllocsPerOp
+		default:
+			d.OnlyNew = true
+			d.NewNs, d.NewBytes, d.NewAllocs = n.NsPerOp, n.BytesPerOp, n.AllocsPerOp
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters deltas to those whose time or memory ratio exceeds
+// its threshold. A threshold <= 0 disables that dimension. Only-old and
+// only-new entries never count as regressions (there is nothing to
+// compare), and neither do speedups.
+func Regressions(deltas []Delta, nsThreshold, bytesThreshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.OnlyOld || d.OnlyNew {
+			continue
+		}
+		if (nsThreshold > 0 && d.NsRatio > nsThreshold) ||
+			(bytesThreshold > 0 && d.BytesRatio > bytesThreshold) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteDeltas renders a comparison as an aligned text table:
+//
+//	benchmark                old ns/op    new ns/op   ratio     old B/op     new B/op   ratio
+//
+// Ratios are formatted as e.g. "1.04x"; entries present in only one run
+// print "(old only)" / "(new only)" instead.
+func WriteDeltas(w io.Writer, deltas []Delta) error {
+	name := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > name {
+			name = len(d.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %12s %12s %7s %12s %12s %7s\n",
+		name, "benchmark", "old ns/op", "new ns/op", "ratio", "old B/op", "new B/op", "ratio"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		switch {
+		case d.OnlyOld:
+			if _, err := fmt.Fprintf(w, "%-*s %12.0f %12s %7s %12d %12s %7s  (old only)\n",
+				name, d.Name, d.OldNs, "-", "-", d.OldBytes, "-", "-"); err != nil {
+				return err
+			}
+		case d.OnlyNew:
+			if _, err := fmt.Fprintf(w, "%-*s %12s %12.0f %7s %12s %12d %7s  (new only)\n",
+				name, d.Name, "-", d.NewNs, "-", "-", d.NewBytes, "-"); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%-*s %12.0f %12.0f %6.2fx %12d %12d %6.2fx\n",
+				name, d.Name, d.OldNs, d.NewNs, d.NsRatio, d.OldBytes, d.NewBytes, d.BytesRatio); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func compareRuns() (Run, Run) {
+	oldRun := Run{Label: "pr7", Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 2000, BytesPerOp: 1 << 20, AllocsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 500, BytesPerOp: 64, AllocsPerOp: 1},
+	}}
+	newRun := Run{Label: "pr8", Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 4096, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 1000, BytesPerOp: 1 << 16, AllocsPerOp: 50},
+		{Name: "BenchmarkNew", NsPerOp: 300, BytesPerOp: 32, AllocsPerOp: 2},
+	}}
+	return oldRun, newRun
+}
+
+func TestCompare(t *testing.T) {
+	oldRun, newRun := compareRuns()
+	deltas := Compare(oldRun, newRun)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	// Sorted by name: A, B, Gone, New.
+	a := deltas[0]
+	if a.Name != "BenchmarkA" || a.NsRatio != 1.1 || a.BytesRatio != 1.0 || a.AllocsRatio != 1.0 {
+		t.Errorf("A delta = %+v", a)
+	}
+	b := deltas[1]
+	if b.NsRatio != 0.5 || b.BytesRatio != 1.0/16 || b.AllocsRatio != 0.5 {
+		t.Errorf("B delta = %+v", b)
+	}
+	if gone := deltas[2]; !gone.OnlyOld || gone.OnlyNew || gone.NsRatio != 0 {
+		t.Errorf("Gone delta = %+v", gone)
+	}
+	if nw := deltas[3]; !nw.OnlyNew || nw.OnlyOld || nw.NewNs != 300 {
+		t.Errorf("New delta = %+v", nw)
+	}
+}
+
+func TestCompareZeroOld(t *testing.T) {
+	deltas := Compare(
+		Run{Results: []Result{{Name: "BenchmarkZ", NsPerOp: 0, BytesPerOp: 0}}},
+		Run{Results: []Result{{Name: "BenchmarkZ", NsPerOp: 10, BytesPerOp: 10}}},
+	)
+	if deltas[0].NsRatio != 0 || deltas[0].BytesRatio != 0 {
+		t.Errorf("zero-old ratios should be 0, got %+v", deltas[0])
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	oldRun, newRun := compareRuns()
+	deltas := Compare(oldRun, newRun)
+
+	// A is 1.10x — inside a 1.30 time threshold; nothing regressed.
+	if reg := Regressions(deltas, 1.30, 2.0); len(reg) != 0 {
+		t.Errorf("unexpected regressions: %+v", reg)
+	}
+	// Tighten the time threshold below 1.10 and A trips it.
+	reg := Regressions(deltas, 1.05, 2.0)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkA" {
+		t.Errorf("regressions at 1.05 = %+v", reg)
+	}
+	// Disabled thresholds never fire.
+	if reg := Regressions(deltas, 0, 0); len(reg) != 0 {
+		t.Errorf("disabled thresholds fired: %+v", reg)
+	}
+
+	// A memory blowup trips the bytes threshold even with time flat.
+	blown := Compare(
+		Run{Results: []Result{{Name: "BenchmarkM", NsPerOp: 100, BytesPerOp: 1 << 20}}},
+		Run{Results: []Result{{Name: "BenchmarkM", NsPerOp: 100, BytesPerOp: 5 << 20}}},
+	)
+	if reg := Regressions(blown, 1.30, 2.0); len(reg) != 1 {
+		t.Errorf("memory blowup not flagged: %+v", reg)
+	}
+	// Only-old / only-new entries are never regressions.
+	orphan := []Delta{{Name: "BenchmarkGone", OnlyOld: true}, {Name: "BenchmarkNew", OnlyNew: true}}
+	if reg := Regressions(orphan, 0.1, 0.1); len(reg) != 0 {
+		t.Errorf("orphan entries flagged: %+v", reg)
+	}
+}
+
+func TestWriteDeltas(t *testing.T) {
+	oldRun, newRun := compareRuns()
+	var sb strings.Builder
+	if err := WriteDeltas(&sb, Compare(oldRun, newRun)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"benchmark", "BenchmarkA", "1.10x", "0.50x", "(old only)", "(new only)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 deltas
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}

@@ -68,6 +68,11 @@ type Analyzer struct {
 	compiled map[string]*compiledEntry
 	scratch  []int
 
+	// freeDense holds zeroed dense counter slices retired by Reset, keyed
+	// by length, so a pooled analyzer's recompile step reuses its previous
+	// life's counter storage instead of allocating it again.
+	freeDense map[int][][]int64
+
 	analyzed int64
 	skipped  int64
 }
@@ -376,11 +381,22 @@ func (a *Analyzer) argCounter(name string, arg *sysspec.ArgSpec) *ArgCounter {
 			part:    si.idx,
 			idx:     si.idx,
 			labels:  si.labels,
-			dense:   make([]int64, len(si.labels)),
+			dense:   a.denseFor(len(si.labels)),
 		}
 		a.inputs[k] = c
 	}
 	return c
+}
+
+// denseFor returns a zeroed dense counter slice of the given length,
+// reusing one retired by Reset when available.
+func (a *Analyzer) denseFor(n int) []int64 {
+	if free := a.freeDense[n]; len(free) > 0 {
+		d := free[len(free)-1]
+		a.freeDense[n] = free[:len(free)-1]
+		return d
+	}
+	return make([]int64, n)
 }
 
 // outputCounter returns (creating on demand) the output counter for name.
@@ -392,7 +408,7 @@ func (a *Analyzer) outputCounter(name string, spec *sysspec.Spec) *OutputCounter
 			Syscall: name,
 			spec:    spec,
 			out:     out,
-			dense:   make([]int64, len(out.Domain())),
+			dense:   a.denseFor(len(out.Domain())),
 		}
 		a.outputs[name] = oc
 	}

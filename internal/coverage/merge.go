@@ -51,7 +51,7 @@ func (a *Analyzer) Merge(b *Analyzer) error {
 				part:    bc.part,
 				idx:     bc.idx,
 				labels:  bc.labels,
-				dense:   make([]int64, len(bc.dense)),
+				dense:   a.denseFor(len(bc.dense)),
 			}
 			a.inputs[k] = ac
 		}
@@ -65,7 +65,7 @@ func (a *Analyzer) Merge(b *Analyzer) error {
 		ac := a.outputs[name]
 		if ac == nil {
 			ac = &OutputCounter{Syscall: bc.Syscall, spec: bc.spec, out: bc.out,
-				dense: make([]int64, len(bc.dense))}
+				dense: a.denseFor(len(bc.dense))}
 			a.outputs[name] = ac
 		}
 		for ord, n := range bc.dense {

@@ -40,6 +40,54 @@ func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Optio
 	return runShard(suite, scale, seed, 0, 1, opts, extraSinks...)
 }
 
+// mountProto holds the one compiled MountPattern filter; shards clone
+// fresh per-run filter state from it instead of recompiling the regexp.
+var (
+	mountProtoOnce sync.Once
+	//iocov:shared-ok written exactly once under mountProtoOnce; derives only from the constant MountPattern
+	mountProto *trace.Filter
+	//iocov:shared-ok written exactly once under mountProtoOnce; derives only from the constant MountPattern
+	mountProtoErr error
+)
+
+func mountFilter() (*trace.Filter, error) {
+	mountProtoOnce.Do(func() {
+		mountProto, mountProtoErr = trace.NewFilter(MountPattern)
+	})
+	if mountProtoErr != nil {
+		return nil, mountProtoErr
+	}
+	return mountProto.Fresh(), nil
+}
+
+// shardState is the reusable per-worker pipeline state RunParallel draws
+// from a sync.Pool-backed arena: the analyzer is the expensive part (counter
+// maps, dense slices, compiled dispatch), and coverage.Analyzer.Reset
+// guarantees a recycled one is observationally identical to a fresh one.
+// Options are part of the state's identity; a pooled state built for other
+// options is discarded rather than reused.
+type shardState struct {
+	opts coverage.Options
+	an   *coverage.Analyzer
+}
+
+var shardPool sync.Pool
+
+// getShardState returns an arena state for opts, reusing a pooled one when
+// its options match.
+func getShardState(opts coverage.Options) *shardState {
+	if st, ok := shardPool.Get().(*shardState); ok && st.opts == opts {
+		return st
+	}
+	return &shardState{opts: opts, an: coverage.NewAnalyzer(opts)}
+}
+
+// putShardState resets the analyzer and parks the state for the next run.
+func putShardState(st *shardState) {
+	st.an.Reset()
+	shardPool.Put(st)
+}
+
 // runShard executes one shard of a suite run on its own fresh pipeline
 // (filesystem, kernel, mount filter, analyzer). Shard 0 of 1 is a complete
 // serial run.
@@ -49,8 +97,13 @@ func RunWithOptions(suite string, scale float64, seed int64, opts coverage.Optio
 // materializes an intermediate []trace.Event and peak memory stays flat in
 // the event count regardless of scale.
 func runShard(suite string, scale float64, seed int64, shard, shards int, opts coverage.Options, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
-	an := coverage.NewAnalyzer(opts)
-	filter, err := trace.NewFilter(MountPattern)
+	return runShardInto(coverage.NewAnalyzer(opts), suite, scale, seed, shard, shards, extraSinks...)
+}
+
+// runShardInto is runShard against a caller-owned analyzer (fresh or Reset;
+// the worker arena hands in recycled ones).
+func runShardInto(an *coverage.Analyzer, suite string, scale float64, seed int64, shard, shards int, extraSinks ...trace.Sink) (*coverage.Analyzer, error) {
+	filter, err := mountFilter()
 	if err != nil {
 		return nil, err
 	}
@@ -76,12 +129,14 @@ func runShard(suite string, scale float64, seed int64, shard, shards int, opts c
 }
 
 // RunParallel executes one named suite across a worker pool: the run is
-// split into `workers` deterministic shards, each driving its own fresh
-// pipeline in a goroutine, and the shard analyzers are merged in shard
-// order. The suites decompose into work items with seed-derived per-item
-// RNGs, so the union of generated workloads — and therefore the merged
-// Snapshot — is byte-identical to the serial Run for any worker count.
-// workers <= 0 means runtime.GOMAXPROCS(0).
+// split into `workers` deterministic shards, each driving its own pipeline
+// in a goroutine over a recycled per-worker analyzer, and the shard
+// analyzers are folded pairwise in a reduction tree. The suites decompose
+// into work items with seed-derived per-item RNGs, so the union of
+// generated workloads — and, counts being purely additive and the fold
+// therefore order-independent, the merged Snapshot — is byte-identical to
+// the serial Run for any worker count. workers <= 0 means
+// runtime.GOMAXPROCS(0).
 func RunParallel(suite string, scale float64, seed int64, workers int, opts coverage.Options) (*coverage.Analyzer, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -91,27 +146,55 @@ func RunParallel(suite string, scale float64, seed int64, workers int, opts cove
 	default:
 		return nil, fmt.Errorf("harness: unknown suite %q", suite)
 	}
-	ans := make([]*coverage.Analyzer, workers)
+	states := make([]*shardState, workers)
+	for w := range states {
+		states[w] = getShardState(opts)
+	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ans[w], errs[w] = runShard(suite, scale, seed, w, workers, opts)
+			_, errs[w] = runShardInto(states[w].an, suite, scale, seed, w, workers)
 		}(w)
 	}
 	wg.Wait()
+	fail := func(err error) (*coverage.Analyzer, error) {
+		for _, st := range states {
+			putShardState(st)
+		}
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
-	merged := ans[0]
-	for w := 1; w < workers; w++ {
-		if err := merged.Merge(ans[w]); err != nil {
-			return nil, err
+	// Reduction-tree fold: at stride s, worker w absorbs worker w+s, all
+	// pairs of a round concurrently. log2(workers) rounds instead of a
+	// serial workers-long fold under one accumulator.
+	for stride := 1; stride < workers; stride *= 2 {
+		var mwg sync.WaitGroup
+		for lo := 0; lo+stride < workers; lo += 2 * stride {
+			mwg.Add(1)
+			go func(dst, src int) {
+				defer mwg.Done()
+				errs[dst] = states[dst].an.Merge(states[src].an)
+			}(lo, lo+stride)
 		}
+		mwg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// The root analyzer escapes to the caller; every other state returns to
+	// the arena.
+	merged := states[0].an
+	for _, st := range states[1:] {
+		putShardState(st)
 	}
 	return merged, nil
 }

@@ -6,7 +6,8 @@ import (
 )
 
 // The //iocov: annotation grammar ties source comments to the flow-sensitive
-// passes. Six forms exist, all parsed here:
+// passes. Seven forms exist; shared-ok is parsed by shardcheck directly,
+// the rest here:
 //
 //	//iocov:guarded-by <mutexField>   on a struct field: the field may only
 //	                                  be accessed while the named sibling
@@ -30,6 +31,14 @@ import (
 //	                                  exit, server shutdown) that leakcheck's
 //	                                  CFG reasoning cannot see. The reason is
 //	                                  mandatory.
+//	//iocov:shared-ok <reason>        on a package-level var declaration: the
+//	                                  variable is deliberately shared across
+//	                                  worker goroutines and writes to it are
+//	                                  exempt from shardcheck. The reason must
+//	                                  state why sharing preserves the
+//	                                  parallel-vs-serial contract (e.g. a
+//	                                  sync.Once write of a value derived only
+//	                                  from constants) and is mandatory.
 //	//iocov:deterministic             on a function: a determinism root. The
 //	                                  function and everything statically
 //	                                  reachable from it must be byte-stable —

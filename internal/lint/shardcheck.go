@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ShardCheck guards the byte-identical RunParallel-vs-Run snapshot contract.
@@ -16,6 +18,13 @@ import (
 //   - calls to the global math/rand source, whose state is shared across
 //     goroutines (per-item rand.New(rand.NewSource(seed)) instances are the
 //     sanctioned pattern and are not flagged).
+//
+// A package-level variable declared with //iocov:shared-ok <reason> is
+// exempt from the write rule: the annotation asserts the sharing is
+// synchronized and value-deterministic (a sync.Once write derived from
+// constants, a mutex-guarded cache whose contents don't depend on
+// interleaving). The reason is mandatory; a reasonless directive is itself
+// a finding.
 //
 // StatePaths packages get only the package-level-write rule: the daemon
 // merges sessions concurrently, so shared mutable globals are still a
@@ -56,15 +65,17 @@ func (s *ShardCheck) Run(t *Target) []Finding {
 		if !full && !stateOnly {
 			continue
 		}
+		exempt, annFindings := s.sharedOKVars(t, pkg)
+		out = append(out, annFindings...)
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch st := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range st.Lhs {
-						out = append(out, s.checkWrite(t, pkg, lhs)...)
+						out = append(out, s.checkWrite(t, pkg, exempt, lhs)...)
 					}
 				case *ast.IncDecStmt:
-					out = append(out, s.checkWrite(t, pkg, st.X)...)
+					out = append(out, s.checkWrite(t, pkg, exempt, st.X)...)
 				case *ast.CallExpr:
 					if full {
 						out = append(out, s.checkCall(t, pkg, st)...)
@@ -77,8 +88,54 @@ func (s *ShardCheck) Run(t *Target) []Finding {
 	return out
 }
 
-// checkWrite flags an assignment target rooted in a package-level variable.
-func (s *ShardCheck) checkWrite(t *Target, pkg *Package, expr ast.Expr) []Finding {
+// sharedOKVars collects the package-level variables whose declarations
+// carry a reasoned //iocov:shared-ok directive, plus findings for
+// reasonless directives.
+func (s *ShardCheck) sharedOKVars(t *Target, pkg *Package) (map[*types.Var]bool, []Finding) {
+	var exempt map[*types.Var]bool
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, a := range annotationsIn(gd.Doc, vs.Doc, vs.Comment) {
+					directive, arg, _ := strings.Cut(a, " ")
+					if directive != "shared-ok" {
+						continue
+					}
+					if strings.TrimSpace(arg) == "" {
+						out = append(out, Finding{
+							Pass:    s.Name(),
+							Pos:     t.Position(vs.Pos()),
+							Message: "iocov:shared-ok requires a reason stating why the sharing preserves the parallel-vs-serial contract",
+						})
+						continue
+					}
+					for _, name := range vs.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							if exempt == nil {
+								exempt = make(map[*types.Var]bool)
+							}
+							exempt[v] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return exempt, out
+}
+
+// checkWrite flags an assignment target rooted in a package-level variable
+// not exempted by //iocov:shared-ok.
+func (s *ShardCheck) checkWrite(t *Target, pkg *Package, exempt map[*types.Var]bool, expr ast.Expr) []Finding {
 	for {
 		switch e := expr.(type) {
 		case *ast.ParenExpr:
@@ -93,11 +150,17 @@ func (s *ShardCheck) checkWrite(t *Target, pkg *Package, expr ast.Expr) []Findin
 			// pkgname.Var writes resolve through the selector itself; field
 			// selectors resolve through the receiver expression instead.
 			if v := packageLevelVar(pkg, e.Sel); v != nil {
+				if exempt[v] {
+					return nil
+				}
 				return s.writeFinding(t, pkg, e.Sel, v)
 			}
 			expr = e.X
 		case *ast.Ident:
 			if v := packageLevelVar(pkg, e); v != nil {
+				if exempt[v] {
+					return nil
+				}
 				return s.writeFinding(t, pkg, e, v)
 			}
 			return nil

@@ -7,15 +7,16 @@ import (
 
 // TestShardCheckBadFixture covers every violation class the pass detects:
 // package-level writes (both a counter increment and a map store), a
-// wall-clock read, and a global-RNG call.
+// wall-clock read, a global-RNG call, and a reasonless iocov:shared-ok
+// directive (whose variable's writes stay flagged).
 func TestShardCheckBadFixture(t *testing.T) {
 	sc := &ShardCheck{Paths: []string{"shardcheck_bad"}}
 	findings := sc.Run(fixtureTarget(t, "shardcheck_bad"))
-	if len(findings) != 4 {
+	if len(findings) != 7 {
 		for _, f := range findings {
 			t.Logf("finding: %s", f)
 		}
-		t.Fatalf("got %d findings, want 4", len(findings))
+		t.Fatalf("got %d findings, want 7", len(findings))
 	}
 	counter := requireFinding(t, findings, `writes package-level variable "counter"`)
 	if wantLine := fixtureLine(t, "shardcheck_bad/bad.go", "counter++"); counter.Pos.Line != wantLine {
@@ -24,6 +25,8 @@ func TestShardCheckBadFixture(t *testing.T) {
 	requireFinding(t, findings, `writes package-level variable "cache"`)
 	requireFinding(t, findings, "calls time.Now")
 	requireFinding(t, findings, "calls the global rand.Int63")
+	requireFinding(t, findings, `writes package-level variable "lazily"`)
+	requireFinding(t, findings, "iocov:shared-ok requires a reason")
 	for _, f := range findings {
 		if !strings.HasSuffix(f.Pos.Filename, "bad.go") {
 			t.Errorf("finding without fixture position: %s", f)
@@ -46,14 +49,15 @@ func TestShardCheckGoodFixture(t *testing.T) {
 func TestShardCheckStatePaths(t *testing.T) {
 	sc := &ShardCheck{StatePaths: []string{"shardcheck_bad"}}
 	findings := sc.Run(fixtureTarget(t, "shardcheck_bad"))
-	if len(findings) != 2 {
+	if len(findings) != 5 {
 		for _, f := range findings {
 			t.Logf("finding: %s", f)
 		}
-		t.Fatalf("got %d findings, want 2 (writes only)", len(findings))
+		t.Fatalf("got %d findings, want 5 (writes + reasonless directive)", len(findings))
 	}
 	requireFinding(t, findings, `writes package-level variable "counter"`)
 	requireFinding(t, findings, `writes package-level variable "cache"`)
+	requireFinding(t, findings, `writes package-level variable "lazily"`)
 	for _, f := range findings {
 		if strings.Contains(f.Message, "time.") || strings.Contains(f.Message, "rand.") {
 			t.Errorf("state-only package flagged for calls: %s", f)

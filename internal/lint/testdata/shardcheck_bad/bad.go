@@ -18,3 +18,13 @@ func work(shard int) int64 {
 	started := time.Now().UnixNano()
 	return counter + started + rand.Int63()
 }
+
+//iocov:shared-ok
+var lazily map[string]int
+
+func memo(k string, v int) {
+	if lazily == nil {
+		lazily = map[string]int{}
+	}
+	lazily[k] = v
+}

@@ -16,3 +16,20 @@ func work(seed int64, shard int) int64 {
 	}
 	return total
 }
+
+// protoOnce guards the one-time construction of proto; the write below is
+// sanctioned because it happens once and derives only from a constant.
+//
+//iocov:shared-ok latch for the one-time proto construction; flips false->true exactly once
+var protoOnce bool
+
+//iocov:shared-ok written once under protoOnce; value derives only from the constant table
+var proto []int
+
+func sharedProto() []int {
+	if !protoOnce {
+		proto = []int{1, 2, 3}
+		protoOnce = true
+	}
+	return proto
+}

@@ -9,11 +9,22 @@ import (
 	"time"
 )
 
+// hitStripes is the lock-striping fanout for the per-syscall hit map.
+// Syscall names hash onto stripes, so concurrent sessions folding their hit
+// counts rarely collide on the same mutex.
+const hitStripes = 8
+
+// hitStripe is one lock shard of the per-syscall hit counters.
+type hitStripe struct {
+	mu sync.Mutex
+	m  map[string]int64 //iocov:guarded-by mu
+}
+
 // Metrics is the daemon's observability state, exported in the Prometheus
-// text exposition format by /metrics. Counters are atomics so the ingest
-// hot path never takes a lock; only the merge histogram and the
-// per-syscall hit map are mutex-guarded (both touched once per session,
-// not per event).
+// text exposition format by /metrics. Everything on the ingest path is
+// contention-free: the scalar counters and the merge histogram are atomics,
+// and the per-syscall hit map is striped by name hash so sessions folding
+// their hits lock disjoint shards.
 type Metrics struct {
 	// EventsIngested counts events parsed from ingest streams, before the
 	// mount filter.
@@ -35,15 +46,22 @@ type Metrics struct {
 	SessionsV1 atomic.Int64
 	SessionsV2 atomic.Int64
 
-	mu           sync.Mutex
-	mergeCount   int64
-	mergeSeconds float64
-	hits         map[string]int64
+	// mergeCount/mergeNanos are the store-merge latency histogram (count +
+	// sum in integer nanoseconds, so the sum is a plain atomic add rather
+	// than a float CAS loop).
+	mergeCount atomic.Int64
+	mergeNanos atomic.Int64
+
+	hits [hitStripes]hitStripe
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{hits: make(map[string]int64)}
+	m := &Metrics{}
+	for i := range m.hits {
+		m.hits[i].m = make(map[string]int64)
+	}
+	return m
 }
 
 // FormatSessions returns the per-version session counter for a decoded
@@ -56,21 +74,53 @@ func (m *Metrics) FormatSessions(version int) *atomic.Int64 {
 }
 
 // ObserveMerge records one store-merge latency.
+//
+//iocov:hotpath
 func (m *Metrics) ObserveMerge(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.mergeCount++
-	m.mergeSeconds += d.Seconds()
+	m.mergeCount.Add(1)
+	m.mergeNanos.Add(d.Nanoseconds())
+}
+
+// hitStripeFor hashes a syscall name onto its stripe (FNV-1a folded to the
+// stripe count).
+//
+//iocov:hotpath
+func hitStripeFor(name string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % hitStripes)
 }
 
 // AddHits folds one session's per-syscall partition-hit counts into the
-// global counters.
+// global counters, locking only the stripes its names hash to.
 func (m *Metrics) AddHits(h map[string]int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for name, n := range h {
-		m.hits[name] += n
+		st := &m.hits[hitStripeFor(name)]
+		st.mu.Lock()
+		st.m[name] += n
+		st.mu.Unlock()
 	}
+}
+
+// snapshotHits folds the hit stripes into one map for the exposition.
+func (m *Metrics) snapshotHits() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range m.hits {
+		st := &m.hits[i]
+		st.mu.Lock()
+		for name, n := range st.m {
+			out[name] += n
+		}
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // promGauge distinguishes gauges from counters in the exposition.
@@ -82,13 +132,9 @@ type promMetric struct {
 // WriteProm renders the registry in the Prometheus text format, in a
 // deterministic order so scrapes and tests are stable.
 func (m *Metrics) WriteProm(w io.Writer, analyzed, skipped, sessions int64) error {
-	m.mu.Lock()
-	mergeCount, mergeSeconds := m.mergeCount, m.mergeSeconds
-	hits := make(map[string]int64, len(m.hits))
-	for name, n := range m.hits {
-		hits[name] = n
-	}
-	m.mu.Unlock()
+	mergeCount := m.mergeCount.Load()
+	mergeSeconds := float64(m.mergeNanos.Load()) / 1e9
+	hits := m.snapshotHits()
 
 	metrics := []promMetric{
 		{"iocovd_events_ingested_total", "Events parsed from ingest streams.", "counter",

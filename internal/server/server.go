@@ -32,6 +32,7 @@ import (
 	"mime"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +85,51 @@ type Server struct {
 	// filterProto holds the compiled mount pattern; sessions clone fresh
 	// per-stream filter state from it instead of recompiling the regexp.
 	filterProto *trace.Filter
+	// sessPool recycles per-stream pipeline state (analyzer, batch
+	// dispatcher, decoder, filter) across ingest requests; see ingestSession.
+	sessPool sync.Pool
+}
+
+// ingestSession is the per-stream pipeline state handleIngest draws from a
+// sync.Pool: the analyzer dominates a session's allocation cost (counter
+// maps, dense slices) and the decoder owns the read buffer, so recycling
+// them turns per-request setup into a handful of Reset calls. Every
+// component's Reset restores fresh-construction semantics — proven by the
+// coverage and trace reset tests — so a recycled session is observationally
+// a new one, even when its previous life ended mid-stream on a malformed
+// input.
+type ingestSession struct {
+	an     *coverage.Analyzer
+	batch  *coverage.Batch
+	dec    *trace.BatchDecoder
+	filter *trace.Filter
+}
+
+// getSession returns a session pipeline reading from r, recycled when the
+// pool has one.
+func (s *Server) getSession(r io.Reader) *ingestSession {
+	if sess, ok := s.sessPool.Get().(*ingestSession); ok {
+		sess.dec.Reset(r)
+		return sess
+	}
+	an := coverage.NewAnalyzer(s.opts)
+	return &ingestSession{
+		an:     an,
+		batch:  an.NewBatch(),
+		dec:    trace.NewBatchDecoder(r),
+		filter: s.filterProto.Fresh(),
+	}
+}
+
+// putSession wipes a session's state and parks it for the next stream. It
+// is safe on poisoned sessions: Reset discards the partial decode and
+// partial counts along with everything else.
+func (s *Server) putSession(sess *ingestSession) {
+	sess.an.Reset()
+	sess.batch.Reset()
+	sess.filter.Reset()
+	sess.dec.Reset(nil) // drop the request-body reference
+	s.sessPool.Put(sess)
 }
 
 // New builds a Server, restoring the checkpoint file if one exists.
@@ -311,15 +357,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	cr := &countingReader{r: body}
 	defer func() { s.metrics.BytesRead.Add(cr.n) }()
 
-	filter := s.filterProto.Fresh()
 	declared := declaredFormat(r)
 	if declared < 0 {
 		httpError(w, http.StatusBadRequest, "session %s: unsupported trace format declaration", session)
 		return
 	}
-	an := coverage.NewAnalyzer(s.opts)
-	batch := an.NewBatch()
-	dec := trace.NewBatchDecoder(cr)
+	sess := s.getSession(cr)
+	defer s.putSession(sess)
+	filter, an, batch, dec := sess.filter, sess.an, sess.batch, sess.dec
 	if err := dec.ReadHeader(); err != nil {
 		s.metrics.SessionsFailed.Add(1)
 		httpError(w, ingestErrorStatus(err), "session %s rejected: %v", session, err)

@@ -5,86 +5,131 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"iocov/internal/coverage"
 )
 
-// Store is the daemon's global coverage state: a live analyzer that
-// per-session analyzers are folded into under a mutex (the byte-identical
-// Analyzer.Merge contract makes merge order irrelevant to the final
-// snapshot), plus an optional baseline snapshot restored from a checkpoint
-// file. Reports are built by merging the baseline with the live analyzer's
-// snapshot, so a restarted daemon picks up exactly where the last
-// checkpoint left it.
+// storeStripes is the lock-striping fanout. Sessions land on stripes
+// round-robin, so up to storeStripes merges proceed without contending on
+// one global mutex; reads fold the stripes back together through the
+// byte-identical Analyzer.Merge contract.
+const storeStripes = 8
+
+// Store is the daemon's global coverage state, striped: each stripe holds
+// its own live analyzer under its own mutex, and a completed session is
+// folded into exactly one stripe. Because Merge is purely additive,
+// re-folding the stripes into one analyzer reproduces byte-for-byte what a
+// single global analyzer would hold — the same contract that lets shards
+// merge in any order — so striping is invisible in every report. An
+// optional baseline snapshot restored from a checkpoint file is merged into
+// reports on top.
 type Store struct {
 	// opts and maxNumeric are fixed at construction.
 	opts       coverage.Options
 	maxNumeric int
 
+	// next assigns sessions to stripes round-robin.
+	next    atomic.Uint64
+	stripes [storeStripes]storeStripe
+
+	baseMu   sync.Mutex
+	baseline *coverage.Snapshot //iocov:guarded-by baseMu
+}
+
+// storeStripe is one lock shard of the store.
+type storeStripe struct {
 	mu       sync.Mutex
 	live     *coverage.Analyzer //iocov:guarded-by mu
-	baseline *coverage.Snapshot //iocov:guarded-by mu
 	sessions int64              //iocov:guarded-by mu
 }
 
 // NewStore builds an empty store. maxNumeric is the numeric-domain
 // truncation applied to reports (0 means the default 34-bucket window).
 func NewStore(opts coverage.Options, maxNumeric int) *Store {
-	return &Store{
-		opts:       opts,
-		maxNumeric: maxNumeric,
-		live:       coverage.NewAnalyzer(opts),
+	s := &Store{opts: opts, maxNumeric: maxNumeric}
+	for i := range s.stripes {
+		s.stripes[i].live = coverage.NewAnalyzer(opts)
 	}
+	return s
 }
 
 // Options returns the analyzer options sessions must be built with.
 func (s *Store) Options() coverage.Options { return s.opts }
 
 // MergeSession folds one completed session's analyzer into the global
-// state. The session analyzer must have been built with the store's
-// options; it is left untouched and must not be used concurrently with
-// this call.
+// state, locking only the session's round-robin stripe. The session
+// analyzer must have been built with the store's options; it is left
+// untouched and must not be used concurrently with this call.
 func (s *Store) MergeSession(an *coverage.Analyzer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.live.Merge(an); err != nil {
+	st := &s.stripes[s.next.Add(1)%storeStripes]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.live.Merge(an); err != nil {
 		return err
 	}
-	s.sessions++
+	st.sessions++
 	return nil
 }
 
 // Sessions returns how many sessions have been merged since start (not
 // counting sessions folded into a restored baseline).
 func (s *Store) Sessions() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions
+	var n int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.sessions
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Totals returns the global analyzed/skipped event counts, including the
 // restored baseline's.
 func (s *Store) Totals() (analyzed, skipped int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	analyzed, skipped = s.live.Analyzed(), s.live.Skipped()
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		analyzed += st.live.Analyzed()
+		skipped += st.live.Skipped()
+		st.mu.Unlock()
+	}
+	s.baseMu.Lock()
 	if s.baseline != nil {
 		analyzed += s.baseline.Analyzed
 		skipped += s.baseline.Skipped
 	}
+	s.baseMu.Unlock()
 	return analyzed, skipped
 }
 
-// Report builds the global coverage snapshot: the restored baseline (if
-// any) merged with everything ingested since start.
+// Report builds the global coverage snapshot: the stripes folded into one
+// scratch analyzer (each stripe locked only while it is being absorbed),
+// merged with the restored baseline (if any). The scratch fold goes through
+// Analyzer.Merge, so the result is byte-identical to what a single
+// unstriped analyzer would have reported over the same sessions.
 func (s *Store) Report() *coverage.Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	live := s.live.Snapshot(s.maxNumeric)
-	if s.baseline == nil {
+	fold := coverage.NewAnalyzer(s.opts)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		err := fold.Merge(st.live)
+		st.mu.Unlock()
+		if err != nil {
+			// Unreachable: every stripe shares the scratch analyzer's
+			// options by construction.
+			panic(fmt.Sprintf("server: stripe fold: %v", err))
+		}
+	}
+	live := fold.Snapshot(s.maxNumeric)
+	s.baseMu.Lock()
+	baseline := s.baseline
+	s.baseMu.Unlock()
+	if baseline == nil {
 		return live
 	}
-	return coverage.MergeSnapshots(s.baseline, live)
+	return coverage.MergeSnapshots(baseline, live)
 }
 
 // Restore loads a checkpoint file written by WriteCheckpoint into the
@@ -103,8 +148,8 @@ func (s *Store) Restore(path string) error {
 	if err != nil {
 		return fmt.Errorf("server: corrupt checkpoint %s: %w", path, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
 	s.baseline = snap
 	return nil
 }

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 )
 
 // WeightedFlags is a distribution over open-flag words. Weights are
@@ -185,18 +186,49 @@ func ChunkRange(n, chunks, c int) (lo, hi int) {
 	return c * n / chunks, (c + 1) * n / chunks
 }
 
-// SharedBuf hands out read-only slices of a single zero-filled buffer so
-// that large writes do not allocate per call. Not safe for concurrent use.
+// SharedBuf hands out read-only slices of a zero-filled buffer so that
+// large writes do not allocate per call. All SharedBufs share one
+// process-wide arena: the suites' write payloads are all-zero by contract,
+// so every runner — and every shard of a parallel run — can slice the same
+// backing array. Before this sharing, each xfstests shard allocated its own
+// 258 MiB buffer, which multiplied by the worker count into the dominant
+// term of RunParallel's memory blowup.
+//
+// The returned slices are strictly read-only; writing through one would
+// corrupt every concurrent user of the arena.
 type SharedBuf struct {
 	buf []byte
 }
 
-// NewSharedBuf allocates the backing buffer.
+// zeroArena is the process-wide backing store. It only ever grows, and an
+// installed arena is never written again, so concurrent readers may slice a
+// previously returned arena without synchronization; the mutex serializes
+// growth only.
+var (
+	zeroArenaMu sync.Mutex
+	//iocov:shared-ok mutex-guarded grow-only cache of zero bytes; contents are identical regardless of shard interleaving
+	zeroArena []byte
+)
+
+// NewSharedBuf returns a view of at least max bytes of the shared arena,
+// growing it when a caller asks for more than any earlier caller did.
 func NewSharedBuf(max int64) *SharedBuf {
-	return &SharedBuf{buf: make([]byte, max)}
+	if max < 0 {
+		max = 0
+	}
+	zeroArenaMu.Lock()
+	if int64(len(zeroArena)) < max {
+		zeroArena = make([]byte, max)
+	}
+	buf := zeroArena[:max]
+	zeroArenaMu.Unlock()
+	return &SharedBuf{buf: buf}
 }
 
-// Get returns an n-byte slice (n is clamped to the buffer size).
+// Get returns an n-byte slice (n is clamped to the buffer size). The slice
+// must be treated as read-only.
+//
+//iocov:hotpath
 func (b *SharedBuf) Get(n int64) []byte {
 	if n > int64(len(b.buf)) {
 		n = int64(len(b.buf))

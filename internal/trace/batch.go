@@ -62,6 +62,26 @@ func NewBatchDecoder(r io.Reader) *BatchDecoder {
 	return &BatchDecoder{r: r, buf: make([]byte, batchBufSize)}
 }
 
+// Reset rebinds the decoder to a new stream, discarding all per-stream
+// state (dictionary contents, sequence base, buffered bytes, parked
+// errors) while keeping the block buffer and the dictionary's backing
+// array. A Reset decoder is indistinguishable from a fresh one — the
+// ingest daemon's session pool depends on that to recycle decoders across
+// sessions, including after a stream was rejected mid-decode. Pass nil to
+// park the decoder without retaining the previous reader.
+func (d *BatchDecoder) Reset(r io.Reader) {
+	d.r = r
+	d.pos, d.end = 0, 0
+	d.rerr = nil
+	d.emptyReads = 0
+	d.version = 0
+	d.header = false
+	clear(d.dict) // drop the string references so the old stream's names can be collected
+	d.dict = d.dict[:0]
+	d.prevSeq = 0
+	d.evBytes = 0
+}
+
 // Version returns the stream's format version: 0 before the header has
 // been read, then 1 or 2.
 func (d *BatchDecoder) Version() int { return d.version }

@@ -63,6 +63,15 @@ func (f *Filter) Fresh() *Filter {
 	}
 }
 
+// Reset clears the filter's descriptor-table and accounting state, keeping
+// the compiled pattern, so a pooled session can reuse the filter with
+// fresh-filter semantics.
+func (f *Filter) Reset() {
+	clear(f.fds)
+	clear(f.outside)
+	f.kept, f.dropped = 0, 0
+}
+
 // mountLiteral recognizes the ^<literal>(/|$) pattern shape that
 // harness.MountPattern produces and returns the bare literal plus its
 // "literal/" prefix form. Any other shape returns empty strings and the

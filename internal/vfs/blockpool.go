@@ -1,0 +1,58 @@
+package vfs
+
+import "sync"
+
+// Data-block recycling. File data lives in per-inode maps of fixed-size
+// blocks that are allocated on first write and dropped wholesale when a file
+// is truncated or unlinked — exactly the lifecycle of the suites' storm
+// workloads, which write hundreds of megabytes into a chunk's scratch files
+// and then unlink them. Without recycling, every storm chunk re-allocates
+// its whole working set from the heap, and a parallel run multiplies that
+// churn by the worker count.
+//
+// Safety argument for sharing one pool across FS instances: a block slice
+// never escapes the owning FS's mutex. ReadAt/WriteAt copy bytes in and
+// out, Clone deep-copies every block, and no accessor returns a block
+// slice. A block is returned to the pool only at the two points where its
+// map entry is dropped (truncate shrink, releaseInode), after which nothing
+// references it.
+//
+// Only the default 4 KiB geometry is pooled; filesystems configured with
+// another block size fall back to plain allocation. Pool entries are dirty:
+// newBlock zeroes them on reuse unless the caller is about to overwrite the
+// whole block.
+
+// pooledBlockSize matches DefaultConfig().BlockSize.
+const pooledBlockSize = 4096
+
+// blockPool holds retired *[pooledBlockSize]byte blocks. The array-pointer
+// form keeps Put from boxing a slice header on every call.
+var blockPool sync.Pool
+
+// newBlock returns a bs-byte block. zero says the caller needs zero-filled
+// contents (a partial write or an explicit preallocation); callers that
+// overwrite the whole block immediately pass false and skip the clear.
+func newBlock(bs int64, zero bool) []byte {
+	if bs != pooledBlockSize {
+		return make([]byte, bs)
+	}
+	if p, ok := blockPool.Get().(*[pooledBlockSize]byte); ok {
+		blk := p[:]
+		if zero {
+			clear(blk)
+		}
+		return blk
+	}
+	return make([]byte, pooledBlockSize)
+}
+
+// freeBlock retires a block dropped from an inode's block map. Blocks of a
+// non-pooled geometry are left to the garbage collector.
+//
+//iocov:hotpath
+func freeBlock(bs int64, blk []byte) {
+	if bs != pooledBlockSize || len(blk) != pooledBlockSize {
+		return
+	}
+	blockPool.Put((*[pooledBlockSize]byte)(blk))
+}

@@ -248,7 +248,9 @@ func (fs *FS) WriteAt(cred Cred, ino *Inode, buf []byte, off int64, nonblock boo
 		}
 		blk, ok := ino.blocks[bi]
 		if !ok {
-			blk = make([]byte, bs)
+			// A write covering the whole block overwrites every byte below,
+			// so a recycled block only needs zeroing for partial coverage.
+			blk = newBlock(bs, bo != 0 || chunk != bs)
 			ino.blocks[bi] = blk
 		}
 		copy(blk[bo:bo+chunk], buf[copied:copied+chunk])
@@ -327,9 +329,10 @@ func (fs *FS) truncateLocked(cred Cred, ino *Inode, length int64) sys.Errno {
 			lastKeep = (target - 1) / bs
 		}
 		var freed int64
-		for bi := range ino.blocks {
+		for bi, blk := range ino.blocks {
 			if bi > lastKeep {
 				delete(ino.blocks, bi)
+				freeBlock(bs, blk)
 				freed++
 			}
 		}
@@ -396,7 +399,7 @@ func (fs *FS) Fallocate(cred Cred, ino *Inode, mode int, off, length int64) sys.
 		}
 		for bi := firstBlk; bi <= lastBlk; bi++ {
 			if _, ok := ino.blocks[bi]; !ok {
-				ino.blocks[bi] = make([]byte, bs)
+				ino.blocks[bi] = newBlock(bs, true)
 			}
 		}
 	}
