@@ -13,6 +13,9 @@
 #   make smoke    - end-to-end iocovd daemon smoke test (ingest, report,
 #                   metrics, graceful shutdown, checkpoint-restore identity)
 #                   plus the CPU-aware parallel-scaling wall-clock check
+#   make evolve-smoke - fixed-seed evolve run: untested count strictly
+#                   decreases, replay verifies, and corpus + snapshot are
+#                   byte-stable across two runs
 #   make bench    - serial-vs-parallel suite benchmarks
 #   make bench-json - full benchmark suite, parsed to BENCH_$(LABEL).json
 #                   (ns/op, B/op, allocs/op per benchmark) for the perf
@@ -22,7 +25,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: verify race vet lint fuzz smoke bench bench-json figures
+.PHONY: verify race vet lint fuzz smoke evolve-smoke bench bench-json figures
 
 verify:
 	$(GO) build ./...
@@ -46,6 +49,9 @@ fuzz:
 smoke:
 	./scripts/smoke_iocovd.sh
 	./scripts/smoke_parallel.sh
+
+evolve-smoke:
+	./scripts/smoke_evolve.sh
 
 bench:
 	$(GO) test -run xxx -bench SuiteSerialVsParallel -benchtime 3x .

@@ -16,12 +16,14 @@ import (
 	"iocov/internal/corr"
 	"iocov/internal/coverage"
 	"iocov/internal/difftest"
+	"iocov/internal/evolve"
 	"iocov/internal/harness"
 	"iocov/internal/kernel"
 	"iocov/internal/metrics"
 	"iocov/internal/partition"
 	"iocov/internal/suites/crashmonkey"
 	"iocov/internal/sys"
+	"iocov/internal/syz"
 	"iocov/internal/trace"
 	"iocov/internal/vfs"
 )
@@ -395,6 +397,27 @@ func BenchmarkAnalyzerThroughput(b *testing.B) {
 		an.AddAll(events)
 	}
 	b.SetBytes(int64(len(events)))
+}
+
+// BenchmarkEvolveGenerations measures the evolutionary workload generator:
+// one iteration is a full fixed-seed run (seed evaluation plus the
+// generations needed to cover every reachable input partition), so ns/op
+// divided by the generation count is the loop's generations/sec headline.
+func BenchmarkEvolveGenerations(b *testing.B) {
+	seed := syz.Generate(syz.GenConfig{Programs: 20, Seed: 7, Dir: "/evolve"})
+	b.ResetTimer()
+	gens := 0
+	for i := 0; i < b.N; i++ {
+		res, err := evolve.Run(seed, evolve.Config{Seed: 7, Generations: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Untested() != 0 {
+			b.Fatalf("%d partitions still untested", res.Untested())
+		}
+		gens += res.Generations
+	}
+	b.ReportMetric(float64(gens)/float64(b.N), "generations/op")
 }
 
 // BenchmarkTraceWriteParse measures the LTTng-style text round trip.

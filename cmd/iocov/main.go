@@ -20,12 +20,18 @@
 //	iocov tcd -suite NAME [-target N] [-syscall S] [-arg A]
 //	    Print the Test Coverage Deviation against a uniform target.
 //
+//	iocov evolve [-seed N] [-generations N] [-corpus N] [-workers N] [-out FILE] [-min] [-json FILE] [-verify]
+//	    Evolve a syzkaller-style corpus until every reachable input
+//	    partition of open/read/write is covered, printing per-generation
+//	    fitness. Deterministic for a fixed -seed regardless of -workers.
+//
 // Profiling flags precede the subcommand and wrap its whole execution:
 //
 //	iocov -cpuprofile cpu.prof -memprofile mem.prof run -suite xfstests
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +42,7 @@ import (
 
 	"iocov"
 	"iocov/internal/coverage"
+	"iocov/internal/evolve"
 	"iocov/internal/harness"
 	"iocov/internal/kernel"
 	"iocov/internal/metrics"
@@ -93,6 +100,8 @@ func realMain() int {
 		err = cmdDiff(args[1:])
 	case "suggest":
 		err = cmdSuggest(args[1:])
+	case "evolve":
+		err = cmdEvolve(args[1:])
 	case "convert":
 		err = cmdConvert(args[1:])
 	case "spec":
@@ -125,7 +134,7 @@ func realMain() int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: iocov [-cpuprofile FILE] [-memprofile FILE] run|analyze|untested|tcd|compare|diff|suggest|convert|spec [flags]")
+	fmt.Fprintln(os.Stderr, "usage: iocov [-cpuprofile FILE] [-memprofile FILE] run|analyze|untested|tcd|compare|diff|suggest|evolve|convert|spec [flags]")
 	os.Exit(2)
 }
 
@@ -278,8 +287,12 @@ func cmdSuggest(args []string) error {
 	if err != nil {
 		return err
 	}
-	progs := syz.Suggest(an, "/mnt/test/probe", *max)
-	fmt.Printf("# %d probe programs for %s's untested input partitions\n\n", len(progs), *suite)
+	progs, truncated := syz.Suggest(an, "/mnt/test/probe", *max)
+	fmt.Printf("# %d probe programs for %s's untested input partitions\n", len(progs), *suite)
+	if truncated {
+		fmt.Printf("# (truncated by -max=%d; rerun with -max=0 for the full set)\n", *max)
+	}
+	fmt.Println()
 	for _, p := range progs {
 		fmt.Println(p.Format())
 	}
@@ -297,6 +310,104 @@ func cmdSuggest(args []string) error {
 		res.Executed, res.Failures, before,
 		an.InputReport("open", "flags").Covered(),
 		an.InputReport("open", "flags").DomainSize())
+	return nil
+}
+
+// cmdEvolve runs the coverage-guided evolutionary workload generator: a
+// fuzzer-style seed corpus evolves until every reachable input partition of
+// the open/read/write target spaces is covered (internal/evolve's loop).
+// The run is deterministic for a fixed -seed whatever -workers is.
+func cmdEvolve(args []string) error {
+	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "seed driving corpus generation and every mutation")
+	generations := fs.Int("generations", 16, "generation budget")
+	corpus := fs.Int("corpus", 40, "seed corpus size")
+	workers := workersFlag(fs, "; never changes the result")
+	dir := fs.String("dir", "/evolve", "directory the programs operate in")
+	out := fs.String("out", "", "write the final corpus (syzkaller program format) to this file")
+	min := fs.Bool("min", false, "greedily minimize the corpus before writing it")
+	jsonOut := fs.String("json", "", "write the final coverage snapshot JSON to this file")
+	verify := fs.Bool("verify", false, "replay the corpus serially and check the snapshot is byte-identical")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(fs, *workers); err != nil {
+		return err
+	}
+	seedProgs := syz.Generate(syz.GenConfig{Programs: *corpus, Seed: *seed, Dir: *dir})
+	res, err := evolve.Run(seedProgs, evolve.Config{
+		Seed:        *seed,
+		Generations: *generations,
+		Workers:     *workers,
+		Dir:         *dir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%4s  %9s  %8s  %9s  %8s  %6s\n",
+		"gen", "untested", "newly", "evaluated", "accepted", "corpus")
+	for _, f := range res.History {
+		fmt.Printf("%4d  %9d  %8d  %9d  %8d  %6d\n",
+			f.Generation, f.UntestedInputs, f.NewlyHit, f.Evaluated, f.Accepted, f.CorpusSize)
+	}
+	last := res.History[len(res.History)-1]
+	for _, sf := range last.Inputs {
+		fmt.Printf("# %-12s covered %d/%d (floor %d, untested %d), tcd %.3f\n",
+			sf.Space, sf.Covered, sf.Domain, sf.Floor, sf.Untested, sf.TCD)
+	}
+	if last.UntestedInputs == 0 {
+		fmt.Printf("# every reachable input partition covered after %d generations\n", res.Generations)
+	} else {
+		fmt.Printf("# %d input partitions still untested after %d generations\n",
+			last.UntestedInputs, res.Generations)
+	}
+
+	final := res.Corpus
+	if *min {
+		final = res.Minimize()
+		fmt.Printf("# corpus minimized %d -> %d programs\n", len(res.Corpus), len(final))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := syz.WritePrograms(f, final); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %d programs to %s\n", len(final), *out)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Analyzer.Snapshot(0).WriteJSON(f); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote snapshot to %s\n", *jsonOut)
+	}
+	if *verify {
+		var evolved, replayed bytes.Buffer
+		if err := res.Analyzer.Snapshot(0).WriteJSON(&evolved); err != nil {
+			return err
+		}
+		if err := evolve.Replay(res.Corpus, *dir).Snapshot(0).WriteJSON(&replayed); err != nil {
+			return err
+		}
+		if !bytes.Equal(evolved.Bytes(), replayed.Bytes()) {
+			return fmt.Errorf("evolve: serial replay does not reproduce the evolved snapshot")
+		}
+		fmt.Println("# verification: serial replay reproduces the evolved snapshot byte-identically")
+	}
 	return nil
 }
 

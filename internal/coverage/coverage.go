@@ -209,12 +209,7 @@ func sharedSchemeIndexer(scheme string) schemeIndexer {
 // NewAnalyzer builds an analyzer over the standard syscall table (or the
 // extended one, with Options.ExtendedSyscalls).
 func NewAnalyzer(opts Options) *Analyzer {
-	if opts.IdentifierCap <= 0 {
-		opts.IdentifierCap = 65536
-	}
-	if opts.CombinationCap <= 0 {
-		opts.CombinationCap = 4096
-	}
+	opts = opts.WithDefaults()
 	table := sharedTable(opts.ExtendedSyscalls)
 	return &Analyzer{
 		table:     table,

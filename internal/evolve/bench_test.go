@@ -1,0 +1,27 @@
+package evolve
+
+import (
+	"testing"
+
+	"iocov/internal/syz"
+)
+
+// BenchmarkEvolveGeneration measures full evolutionary generations —
+// candidate construction, parallel evaluation on isolated pipelines, greedy
+// acceptance, fitness fold — in generations/sec (b.N generations per run
+// via the generation budget).
+func BenchmarkEvolveGeneration(b *testing.B) {
+	seed := syz.Generate(syz.GenConfig{Programs: 20, Seed: 7, Dir: "/evolve"})
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		res, err := Run(seed, Config{Seed: 7, Generations: b.N - done, Stall: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Generations == 0 {
+			b.Fatal("no generations ran")
+		}
+		done += res.Generations
+	}
+}

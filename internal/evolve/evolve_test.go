@@ -1,0 +1,199 @@
+package evolve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"iocov/internal/coverage"
+	"iocov/internal/syz"
+)
+
+func seedCorpus(t *testing.T, n int, seed int64) []syz.Program {
+	t.Helper()
+	return syz.Generate(syz.GenConfig{Programs: n, Seed: seed, Dir: "/evolve"})
+}
+
+func snapshotBytes(t *testing.T, an *coverage.Analyzer) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := an.Snapshot(0).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestEvolveDrivesUntestedToFloor is the tentpole's success metric: from a
+// plain fuzzer-style seed corpus, the loop covers every reachable input
+// partition of the default target spaces within a bounded generation
+// budget, leaving exactly the documented irreducible floor untested.
+func TestEvolveDrivesUntestedToFloor(t *testing.T) {
+	res, err := Run(seedCorpus(t, 40, 7), Config{Seed: 7, Generations: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Untested(); got != 0 {
+		t.Fatalf("untested input partitions after %d generations: %d (want 0)",
+			res.Generations, got)
+	}
+	if len(res.History) < 2 {
+		t.Fatalf("no evolution happened: %d history entries", len(res.History))
+	}
+	first, last := res.History[0], res.History[len(res.History)-1]
+	if last.UntestedInputs >= first.UntestedInputs {
+		t.Errorf("untested did not decrease: %d -> %d",
+			first.UntestedInputs, last.UntestedInputs)
+	}
+	// The floor is exactly the buffer-length bound: "<0" plus every bucket
+	// above 2^26 for read.count/write.count, nothing anywhere else.
+	wantFloor := map[string]int{
+		"open.flags":  0,
+		"open.mode":   0,
+		"read.count":  37, // "<0" + 2^27..2^62
+		"read.pos":    0,
+		"write.count": 37,
+		"write.pos":   0,
+	}
+	for _, sf := range last.Inputs {
+		want, ok := wantFloor[sf.Space.String()]
+		if !ok {
+			t.Errorf("unexpected input space %s", sf.Space)
+			continue
+		}
+		if sf.Floor != want {
+			t.Errorf("%s floor = %d, want %d", sf.Space, sf.Floor, want)
+		}
+		if sf.Untested != 0 {
+			t.Errorf("%s still has %d untested partitions", sf.Space, sf.Untested)
+		}
+		if sf.Covered+sf.Floor != sf.Domain {
+			t.Errorf("%s covered %d + floor %d != domain %d",
+				sf.Space, sf.Covered, sf.Floor, sf.Domain)
+		}
+	}
+	if len(last.Inputs) != len(wantFloor) {
+		t.Errorf("%d input spaces in fitness, want %d", len(last.Inputs), len(wantFloor))
+	}
+}
+
+// TestEvolveDeterministic: two runs with the same seed produce identical
+// histories and byte-identical final snapshots, parallelism and all.
+func TestEvolveDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(seedCorpus(t, 20, 3), Config{Seed: 3, Generations: 6, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if sa, sb := snapshotBytes(t, a.Analyzer), snapshotBytes(t, b.Analyzer); sa != sb {
+		t.Error("same-seed runs produced different final snapshots")
+	}
+	if !reflect.DeepEqual(a.History, b.History) {
+		t.Error("same-seed runs produced different fitness histories")
+	}
+	if len(a.Corpus) != len(b.Corpus) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a.Corpus), len(b.Corpus))
+	}
+	for i := range a.Corpus {
+		if a.Corpus[i].Format() != b.Corpus[i].Format() {
+			t.Fatalf("corpus program %d differs between same-seed runs", i)
+		}
+	}
+}
+
+// TestEvolveParallelMatchesSerial: the worker count is pure mechanism — a
+// serial evaluation and an 8-way one accept the same corpus and accumulate
+// the same snapshot.
+func TestEvolveParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) *Result {
+		res, err := Run(seedCorpus(t, 20, 5), Config{Seed: 5, Generations: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if ss, sp := snapshotBytes(t, serial.Analyzer), snapshotBytes(t, parallel.Analyzer); ss != sp {
+		t.Error("worker count changed the final snapshot")
+	}
+	if !reflect.DeepEqual(serial.History, parallel.History) {
+		t.Error("worker count changed the fitness history")
+	}
+}
+
+// TestEvolveReplayIdentity: executing the accepted corpus serially into one
+// fresh analyzer reproduces the evolved analyzer byte-for-byte.
+func TestEvolveReplayIdentity(t *testing.T) {
+	res, err := Run(seedCorpus(t, 20, 11), Config{Seed: 11, Generations: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := Replay(res.Corpus, "")
+	if se, sr := snapshotBytes(t, res.Analyzer), snapshotBytes(t, replayed); se != sr {
+		t.Error("serial replay of the corpus does not reproduce the evolved snapshot")
+	}
+}
+
+// TestMinimize: the greedy reduction is smaller (the seed corpus is
+// redundant by construction) and preserves the covered-partition set.
+func TestMinimize(t *testing.T) {
+	res, err := Run(seedCorpus(t, 40, 7), Config{Seed: 7, Generations: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := res.Minimize()
+	if len(min) == 0 || len(min) >= len(res.Corpus) {
+		t.Fatalf("minimized corpus has %d programs (full corpus %d)", len(min), len(res.Corpus))
+	}
+	// Replaying the minimized corpus covers the same partitions per space.
+	replayed := Replay(min, "")
+	for ti := range res.lay.targets {
+		tg := &res.lay.targets[ti]
+		var full, mini []int
+		if tg.space.Arg == "" {
+			full = res.Analyzer.OutputCoveredOrdinals(tg.space.Syscall, nil)
+			mini = replayed.OutputCoveredOrdinals(tg.space.Syscall, nil)
+		} else {
+			full = res.Analyzer.InputCoveredOrdinals(tg.space.Syscall, tg.space.Arg, nil)
+			mini = replayed.InputCoveredOrdinals(tg.space.Syscall, tg.space.Arg, nil)
+		}
+		fullIn := make(map[int]bool, len(full))
+		for _, ord := range full {
+			if ord < len(tg.labels) {
+				fullIn[ord] = true
+			}
+		}
+		for _, ord := range mini {
+			if ord < len(tg.labels) {
+				delete(fullIn, ord)
+			}
+		}
+		if len(fullIn) != 0 {
+			t.Errorf("%s: minimized corpus lost %d covered partitions", tg.space, len(fullIn))
+		}
+	}
+}
+
+// TestEvolveEmptySeed: an empty seed corpus is a configuration error, not a
+// panic.
+func TestEvolveEmptySeed(t *testing.T) {
+	if _, err := Run(nil, Config{Seed: 1}); err == nil {
+		t.Error("empty seed corpus accepted")
+	}
+}
+
+// TestEvolveUnknownTarget: target spaces are validated up front.
+func TestEvolveUnknownTarget(t *testing.T) {
+	seed := seedCorpus(t, 2, 1)
+	if _, err := Run(seed, Config{Targets: []Space{{Syscall: "nope"}}}); err == nil {
+		t.Error("unknown target syscall accepted")
+	}
+	if _, err := Run(seed, Config{Targets: []Space{{Syscall: "open", Arg: "nope"}}}); err == nil {
+		t.Error("unknown target argument accepted")
+	}
+	if _, err := Run(seed, Config{Targets: []Space{{Syscall: "open", Arg: "filename"}}}); err == nil {
+		t.Error("identifier argument accepted as target")
+	}
+}

@@ -60,32 +60,63 @@ func mountFilter() (*trace.Filter, error) {
 	return mountProto.Fresh(), nil
 }
 
-// shardState is the reusable per-worker pipeline state RunParallel draws
-// from a sync.Pool-backed arena: the analyzer is the expensive part (counter
-// maps, dense slices, compiled dispatch), and coverage.Analyzer.Reset
-// guarantees a recycled one is observationally identical to a fresh one.
-// Options are part of the state's identity; a pooled state built for other
-// options is discarded rather than reused.
-type shardState struct {
-	opts coverage.Options
-	an   *coverage.Analyzer
-}
-
+// shardPool is the worker arena RunParallel (and the evolve loop's
+// candidate evaluation) draws analyzers from: the analyzer is the expensive
+// per-shard state (counter maps, dense slices, compiled dispatch), and
+// coverage.Analyzer.Reset guarantees a recycled one is observationally
+// identical to a fresh one.
 var shardPool sync.Pool
 
-// getShardState returns an arena state for opts, reusing a pooled one when
-// its options match.
-func getShardState(opts coverage.Options) *shardState {
-	if st, ok := shardPool.Get().(*shardState); ok && st.opts == opts {
-		return st
+// AcquireAnalyzer returns an analyzer for opts from the worker arena,
+// reusing a pooled one when its options match (options are part of an
+// analyzer's identity; a pooled analyzer built for other options is
+// discarded rather than reused).
+func AcquireAnalyzer(opts coverage.Options) *coverage.Analyzer {
+	if an, ok := shardPool.Get().(*coverage.Analyzer); ok && an.Options() == opts.WithDefaults() {
+		return an
 	}
-	return &shardState{opts: opts, an: coverage.NewAnalyzer(opts)}
+	return coverage.NewAnalyzer(opts)
 }
 
-// putShardState resets the analyzer and parks the state for the next run.
-func putShardState(st *shardState) {
-	st.an.Reset()
-	shardPool.Put(st)
+// ReleaseAnalyzer resets an analyzer and parks it in the worker arena for
+// the next acquisition. The caller must not touch it afterwards.
+func ReleaseAnalyzer(an *coverage.Analyzer) {
+	if an == nil {
+		return
+	}
+	an.Reset()
+	shardPool.Put(an)
+}
+
+// MergeTree folds a slice of analyzers pairwise in a reduction tree: at
+// stride s, analyzer lo absorbs analyzer lo+s, all pairs of a round running
+// concurrently, log2(n) rounds instead of a serial n-long fold under one
+// accumulator. Counts are purely additive, so the tree's fold order does
+// not change the merged snapshot — ans[0] ends up byte-identical to a
+// serial in-order fold. Returns ans[0]; the other analyzers are left merged
+// -from but otherwise untouched (callers typically ReleaseAnalyzer them).
+func MergeTree(ans []*coverage.Analyzer) (*coverage.Analyzer, error) {
+	if len(ans) == 0 {
+		return nil, fmt.Errorf("harness: MergeTree needs at least one analyzer")
+	}
+	errs := make([]error, len(ans))
+	for stride := 1; stride < len(ans); stride *= 2 {
+		var wg sync.WaitGroup
+		for lo := 0; lo+stride < len(ans); lo += 2 * stride {
+			wg.Add(1)
+			go func(dst, src int) {
+				defer wg.Done()
+				errs[dst] = ans[dst].Merge(ans[src])
+			}(lo, lo+stride)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ans[0], nil
 }
 
 // runShard executes one shard of a suite run on its own fresh pipeline
@@ -146,9 +177,9 @@ func RunParallel(suite string, scale float64, seed int64, workers int, opts cove
 	default:
 		return nil, fmt.Errorf("harness: unknown suite %q", suite)
 	}
-	states := make([]*shardState, workers)
+	states := make([]*coverage.Analyzer, workers)
 	for w := range states {
-		states[w] = getShardState(opts)
+		states[w] = AcquireAnalyzer(opts)
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -156,13 +187,13 @@ func RunParallel(suite string, scale float64, seed int64, workers int, opts cove
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			_, errs[w] = runShardInto(states[w].an, suite, scale, seed, w, workers)
+			_, errs[w] = runShardInto(states[w], suite, scale, seed, w, workers)
 		}(w)
 	}
 	wg.Wait()
 	fail := func(err error) (*coverage.Analyzer, error) {
-		for _, st := range states {
-			putShardState(st)
+		for _, an := range states {
+			ReleaseAnalyzer(an)
 		}
 		return nil, err
 	}
@@ -171,30 +202,14 @@ func RunParallel(suite string, scale float64, seed int64, workers int, opts cove
 			return fail(err)
 		}
 	}
-	// Reduction-tree fold: at stride s, worker w absorbs worker w+s, all
-	// pairs of a round concurrently. log2(workers) rounds instead of a
-	// serial workers-long fold under one accumulator.
-	for stride := 1; stride < workers; stride *= 2 {
-		var mwg sync.WaitGroup
-		for lo := 0; lo+stride < workers; lo += 2 * stride {
-			mwg.Add(1)
-			go func(dst, src int) {
-				defer mwg.Done()
-				errs[dst] = states[dst].an.Merge(states[src].an)
-			}(lo, lo+stride)
-		}
-		mwg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return fail(err)
-			}
-		}
+	merged, err := MergeTree(states)
+	if err != nil {
+		return fail(err)
 	}
-	// The root analyzer escapes to the caller; every other state returns to
+	// The root analyzer escapes to the caller; every other one returns to
 	// the arena.
-	merged := states[0].an
-	for _, st := range states[1:] {
-		putShardState(st)
+	for _, an := range states[1:] {
+		ReleaseAnalyzer(an)
 	}
 	return merged, nil
 }

@@ -41,7 +41,7 @@ type ShardCheck struct {
 // NewShardCheck returns the pass configured for this repository.
 func NewShardCheck() *ShardCheck {
 	return &ShardCheck{
-		Paths:      []string{"iocov/internal/harness", "iocov/internal/suites"},
+		Paths:      []string{"iocov/internal/evolve", "iocov/internal/harness", "iocov/internal/suites"},
 		StatePaths: []string{"iocov/internal/server"},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iocov/internal/kernel"
+	"iocov/internal/suites/workload"
 	"iocov/internal/sys"
 	"iocov/internal/trace"
 )
@@ -232,10 +233,10 @@ func executeCall(p *kernel.Proc, c Call, sig []string, bindings map[int]int) (in
 		n, e := p.Pread64(v.fd("fd"), make([]byte, clampLen(v.num("count"))), v.num("offset"))
 		return int64(n), e
 	case "write":
-		n, e := p.Write(v.fd("fd"), make([]byte, clampLen(v.num("count"))))
+		n, e := p.Write(v.fd("fd"), zeroBuf(clampLen(v.num("count"))))
 		return int64(n), e
 	case "pwrite64":
-		n, e := p.Pwrite64(v.fd("fd"), make([]byte, clampLen(v.num("count"))), v.num("offset"))
+		n, e := p.Pwrite64(v.fd("fd"), zeroBuf(clampLen(v.num("count"))), v.num("offset"))
 		return int64(n), e
 	case "lseek":
 		n, e := p.Lseek(v.fd("fd"), v.num("offset"), int(v.num("whence")))
@@ -261,11 +262,11 @@ func executeCall(p *kernel.Proc, c Call, sig []string, bindings map[int]int) (in
 	case "fchdir":
 		return 0, p.Fchdir(v.fd("fd"))
 	case "setxattr":
-		return 0, p.Setxattr(v.str("path"), v.str("name"), make([]byte, clampLen(v.num("size"))), int(v.num("xflags")))
+		return 0, p.Setxattr(v.str("path"), v.str("name"), zeroBuf(clampLen(v.num("size"))), int(v.num("xflags")))
 	case "lsetxattr":
-		return 0, p.Lsetxattr(v.str("path"), v.str("name"), make([]byte, clampLen(v.num("size"))), int(v.num("xflags")))
+		return 0, p.Lsetxattr(v.str("path"), v.str("name"), zeroBuf(clampLen(v.num("size"))), int(v.num("xflags")))
 	case "fsetxattr":
-		return 0, p.Fsetxattr(v.fd("fd"), v.str("name"), make([]byte, clampLen(v.num("size"))), int(v.num("xflags")))
+		return 0, p.Fsetxattr(v.fd("fd"), v.str("name"), zeroBuf(clampLen(v.num("size"))), int(v.num("xflags")))
 	case "getxattr":
 		n, e := p.Getxattr(v.str("path"), v.str("name"), make([]byte, clampLen(v.num("size"))))
 		return int64(n), e
@@ -280,16 +281,31 @@ func executeCall(p *kernel.Proc, c Call, sig []string, bindings map[int]int) (in
 	}
 }
 
+// MaxDataLen is the executor's buffer-size bound (a real executor's mmap'd
+// arena bound): fuzzer-supplied counts above it — and negative counts,
+// which clamp to zero — cannot be expressed as an allocated buffer, so the
+// traced count of a buffer-length argument never exceeds the 2^26 bucket.
+// This is the irreducible untested-partition floor internal/evolve
+// documents for read.count/write.count-style spaces.
+const MaxDataLen = 1 << 26 // 64 MiB arena
+
 // clampLen bounds fuzzer-supplied buffer sizes to something allocatable;
-// the traced count argument uses the clamped value (like a real executor's
-// mmap'd arena bound).
+// the traced count argument uses the clamped value.
 func clampLen(n int64) int64 {
-	const max = 1 << 26 // 64 MiB arena
 	if n < 0 {
 		return 0
 	}
-	if n > max {
-		return max
+	if n > MaxDataLen {
+		return MaxDataLen
 	}
 	return n
+}
+
+// zeroBuf returns an n-byte all-zero buffer sliced from the process-wide
+// shared zero arena. Strictly read-only: only write-side payloads (write,
+// pwrite64, setxattr values — all copied by the kernel before it returns)
+// may use it; read-side buffers are written by the kernel and must stay
+// private allocations.
+func zeroBuf(n int64) []byte {
+	return workload.NewSharedBuf(n).Get(n)
 }

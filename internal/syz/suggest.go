@@ -15,15 +15,16 @@ import (
 // verify the gap closes.
 //
 // dir is the directory the probes operate in; max bounds the number of
-// programs (0 means no bound).
-func Suggest(an *coverage.Analyzer, dir string, max int) []Program {
+// programs (0 means no bound). The full candidate set is always built
+// before the bound is applied, and truncated reports whether the bound
+// dropped any programs — a bound hit mid-section used to silently swallow
+// every later section (numeric probes, lseek whence) with no signal.
+func Suggest(an *coverage.Analyzer, dir string, max int) (progs []Program, truncated bool) {
 	if dir == "" {
 		dir = "/probe"
 	}
-	var progs []Program
-	add := func(p Program) bool {
+	add := func(p Program) {
 		progs = append(progs, p)
-		return max > 0 && len(progs) >= max
 	}
 
 	// Untested open flags: open a scratch file with each one.
@@ -49,12 +50,10 @@ func Suggest(an *coverage.Analyzer, dir string, max int) []Program {
 			if bits&sys.O_TMPFILE != 0 {
 				flags |= sys.O_RDWR
 			}
-			if add(Program{Calls: []Call{
+			add(Program{Calls: []Call{
 				openCall(0, target, flags, 0o644),
 				{Result: -1, Name: "close", Args: []Arg{{Kind: KindResult, Ref: 0}}},
-			}}) {
-				return progs
-			}
+			}})
 		}
 	}
 
@@ -114,9 +113,7 @@ func Suggest(an *coverage.Analyzer, dir string, max int) []Program {
 			if !ok {
 				continue
 			}
-			if add(n.build(size)) {
-				return progs
-			}
+			add(n.build(size))
 		}
 	}
 
@@ -127,7 +124,7 @@ func Suggest(an *coverage.Analyzer, dir string, max int) []Program {
 			if w < 0 {
 				continue
 			}
-			if add(Program{Calls: []Call{
+			add(Program{Calls: []Call{
 				openCall(0, dir+"/sprobe", sys.O_CREAT|sys.O_RDWR, 0o644),
 				{Result: -1, Name: "write", Args: []Arg{
 					{Kind: KindResult, Ref: 0}, {Kind: KindData, DataLen: 2},
@@ -137,12 +134,14 @@ func Suggest(an *coverage.Analyzer, dir string, max int) []Program {
 					{Kind: KindConst, Const: 16},
 					{Kind: KindConst, Const: int64(w)}}},
 				{Result: -1, Name: "close", Args: []Arg{{Kind: KindResult, Ref: 0}}},
-			}}) {
-				return progs
-			}
+			}})
 		}
 	}
-	return progs
+	if max > 0 && len(progs) > max {
+		progs = progs[:max]
+		truncated = true
+	}
+	return progs, truncated
 }
 
 func openCall(result int, path string, flags int, mode uint32) Call {

@@ -32,9 +32,12 @@ func measuredAnalyzer(t *testing.T, w func(*kernel.Proc)) (*coverage.Analyzer, *
 
 func TestSuggestProducesParsablePrograms(t *testing.T) {
 	an, _ := measuredAnalyzer(t, narrowWorkload)
-	progs := Suggest(an, "/probe", 0)
+	progs, truncated := Suggest(an, "/probe", 0)
 	if len(progs) < 20 {
 		t.Fatalf("only %d suggestions for a narrow workload", len(progs))
+	}
+	if truncated {
+		t.Error("unbounded Suggest reported truncation")
 	}
 	// Every suggestion is valid syzlang: it round-trips through the
 	// parser.
@@ -54,9 +57,32 @@ func TestSuggestProducesParsablePrograms(t *testing.T) {
 
 func TestSuggestMaxBound(t *testing.T) {
 	an, _ := measuredAnalyzer(t, narrowWorkload)
-	progs := Suggest(an, "", 5)
+	all, truncated := Suggest(an, "", 0)
+	if truncated {
+		t.Fatal("unbounded Suggest reported truncation")
+	}
+	progs, truncated := Suggest(an, "", 5)
 	if len(progs) != 5 {
 		t.Errorf("max ignored: %d programs", len(progs))
+	}
+	if !truncated {
+		t.Error("bound dropped programs but truncated not reported")
+	}
+	// The bound slices the full candidate set; it must not change which
+	// probes come first (a mid-build early return used to silently swallow
+	// whole later sections).
+	for i := range progs {
+		if progs[i].Format() != all[i].Format() {
+			t.Errorf("bounded probe %d differs from unbounded prefix", i)
+		}
+	}
+	// A bound equal to (or above) the candidate count is not a truncation.
+	exact, truncated := Suggest(an, "", len(all))
+	if truncated {
+		t.Errorf("max == len reported truncation")
+	}
+	if len(exact) != len(all) {
+		t.Errorf("max == len returned %d of %d", len(exact), len(all))
 	}
 }
 
@@ -74,7 +100,7 @@ func TestSuggestClosesCoverageGaps(t *testing.T) {
 		"truncate.length": an.InputReport("truncate", "length").Covered(),
 	}
 
-	progs := Suggest(an, "/probe", 0)
+	progs, _ := Suggest(an, "/probe", 0)
 	p := k.NewProc(kernel.ProcOptions{Cred: vfs.Root})
 	if e := p.Mkdir("/probe", 0o777); e != sys.OK {
 		t.Fatal(e)
@@ -108,7 +134,7 @@ func TestSuggestClosesCoverageGaps(t *testing.T) {
 
 func TestSuggestOnEmptyAnalyzer(t *testing.T) {
 	an := coverage.NewAnalyzer(coverage.DefaultOptions())
-	if progs := Suggest(an, "", 0); len(progs) != 0 {
+	if progs, _ := Suggest(an, "", 0); len(progs) != 0 {
 		t.Errorf("suggestions without any coverage: %d", len(progs))
 	}
 }

@@ -74,6 +74,19 @@ type Program struct {
 	Calls []Call
 }
 
+// Clone returns a deep copy of the program: mutating the copy's calls or
+// arguments never aliases the original. The mutation operators in
+// internal/evolve clone before editing so corpus programs stay immutable.
+func (p Program) Clone() Program {
+	out := Program{Calls: make([]Call, len(p.Calls))}
+	for i, c := range p.Calls {
+		cc := c
+		cc.Args = append([]Arg(nil), c.Args...)
+		out.Calls[i] = cc
+	}
+	return out
+}
+
 // ParseError reports a malformed program line.
 type ParseError struct {
 	Line int
@@ -326,6 +339,23 @@ func (p Program) Format() string {
 		b.WriteString(")\n")
 	}
 	return b.String()
+}
+
+// WritePrograms renders programs blank-line separated — the corpus-file
+// form Parse reads back. WritePrograms then Parse round-trips exactly
+// (modulo synthesized pointer addresses, which Parse discards anyway).
+func WritePrograms(w io.Writer, progs []Program) error {
+	for i, p := range progs {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, p.Format()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func escapeSyz(s string) string {

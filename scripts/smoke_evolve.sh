@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Evolve-loop smoke assertion, run by CI and `make evolve-smoke`: with a
+# fixed seed the evolutionary workload generator must (a) strictly decrease
+# the untested-input-partition count from the seed baseline, (b) report a
+# byte-identical serial replay (-verify exits non-zero otherwise), and
+# (c) produce byte-identical corpus and snapshot artifacts across two runs
+# — the determinism contract a user relies on when bisecting a corpus.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+  go run ./cmd/iocov evolve -seed 7 -generations 12 -workers 4 \
+    -out "$tmp/corpus$1.syz" -json "$tmp/snap$1.json" -verify | tee "$tmp/log$1"
+}
+
+echo "smoke_evolve: run 1"
+run 1
+echo "smoke_evolve: run 2"
+run 2
+
+first_untested=$(awk '$1 == 0 {print $2; exit}' "$tmp/log1")
+last_untested=$(awk '$1 ~ /^[0-9]+$/ {u=$2} END {print u}' "$tmp/log1")
+echo "smoke_evolve: untested $first_untested -> $last_untested"
+if [ "$last_untested" -ge "$first_untested" ]; then
+  echo "smoke_evolve: FAIL: untested count did not decrease" >&2
+  exit 1
+fi
+
+cmp "$tmp/snap1.json" "$tmp/snap2.json" \
+  || { echo "smoke_evolve: FAIL: snapshots differ across same-seed runs" >&2; exit 1; }
+cmp "$tmp/corpus1.syz" "$tmp/corpus2.syz" \
+  || { echo "smoke_evolve: FAIL: corpora differ across same-seed runs" >&2; exit 1; }
+echo "smoke_evolve: OK (snapshot and corpus byte-stable across two runs)"
