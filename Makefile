@@ -7,8 +7,9 @@
 #   make vet      - the standard go vet checks
 #   make lint     - iocovlint: domaincheck, speccheck, shardcheck, errcheck,
 #                   httpcheck, lockcheck, alloccheck, leakcheck, atomcheck,
-#                   determcheck over the whole repository (exit 1 on any
-#                   finding); -v prints per-pass analysis times
+#                   determcheck, wirecheck, boundcheck over the whole
+#                   repository (exit 1 on any finding); -v prints per-pass
+#                   analysis times
 #   make fuzz     - short fuzz passes over the binary trace codec
 #   make smoke    - end-to-end iocovd daemon smoke test (ingest, report,
 #                   metrics, graceful shutdown, checkpoint-restore identity)

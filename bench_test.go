@@ -19,6 +19,7 @@ import (
 	"iocov/internal/evolve"
 	"iocov/internal/harness"
 	"iocov/internal/kernel"
+	"iocov/internal/lint"
 	"iocov/internal/metrics"
 	"iocov/internal/partition"
 	"iocov/internal/suites/crashmonkey"
@@ -440,5 +441,23 @@ func BenchmarkTraceWriteParse(b *testing.B) {
 		if len(parsed) != len(events) {
 			b.Fatalf("parsed %d of %d", len(parsed), len(events))
 		}
+	}
+}
+
+// BenchmarkLintSuite runs the full twelve-pass static-analysis suite over
+// the repository, including the load and type-check, the way `make lint`
+// pays for it; the per-pass engines (call graph, CFGs, value lattice) are
+// rebuilt each iteration.
+func BenchmarkLintSuite(b *testing.B) {
+	var findings int
+	for i := 0; i < b.N; i++ {
+		tgt, err := lint.LoadRepo(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = len(lint.RunAll(tgt, lint.AllPasses()))
+	}
+	if findings != 0 {
+		b.Fatalf("lint suite found %d findings on the live tree", findings)
 	}
 }

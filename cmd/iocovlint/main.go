@@ -17,11 +17,18 @@
 //	atomcheck    sync/atomic objects must never be accessed plainly
 //	determcheck  //iocov:deterministic roots stay clock-, RNG-, goroutine-
 //	             and map-order-free
+//	wirecheck    trace encoder/decoder field-sequence symmetry, decoder
+//	             allocation budgets, dictionary retention caps, and format
+//	             negotiation coverage
+//	boundcheck   //iocov:hotpath index expressions proven in-bounds by the
+//	             value lattice, or carrying a reasoned //iocov:bounds-ok
 //
 // -pass NAME runs a single pass; -passes takes a comma-separated subset.
 // -json emits one JSON object per finding ({"pass","file","line","col",
-// "message"}) on stdout, for tooling. -v reports load statistics and each
-// pass's wall-clock analysis time on stderr, so CI logs track engine cost.
+// "message"}) on stdout followed by a {"timings":[{"pass","ms"},...]}
+// trailer with each pass's wall-clock analysis time, for tooling. -v
+// reports load statistics and the same per-pass times on stderr, so CI
+// logs track engine cost.
 //
 // The exit status is 0 with no findings, 1 with findings, 2 on usage or
 // load errors — so `make lint` and CI can gate on it.
@@ -97,6 +104,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *asJSON {
 		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "iocovlint:", err)
+			return 2
+		}
+		if err := lint.WriteJSONTimings(stdout, times); err != nil {
 			fmt.Fprintln(stderr, "iocovlint:", err)
 			return 2
 		}

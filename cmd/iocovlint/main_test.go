@@ -64,4 +64,26 @@ func TestFindingOutput(t *testing.T) {
 	if jf.Pass != "atomcheck" || jf.Line == 0 || !strings.Contains(jf.File, "badmod") {
 		t.Errorf("json finding = %+v", jf)
 	}
+
+	// The stream ends with a per-pass timing trailer covering every pass
+	// that ran.
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	var tr struct {
+		Timings []struct {
+			Pass string  `json:"pass"`
+			Ms   float64 `json:"ms"`
+		} `json:"timings"`
+	}
+	last := lines[len(lines)-1]
+	if err := json.Unmarshal([]byte(last), &tr); err != nil {
+		t.Fatalf("timing trailer not decodable: %v\n%s", err, last)
+	}
+	if len(tr.Timings) != 12 {
+		t.Errorf("trailer has %d timings, want one per pass (12):\n%s", len(tr.Timings), last)
+	}
+	for _, pt := range tr.Timings {
+		if pt.Pass == "" {
+			t.Errorf("timing entry missing pass name: %s", last)
+		}
+	}
 }

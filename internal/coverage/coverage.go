@@ -253,6 +253,7 @@ func (a *Analyzer) Add(ev trace.Event) {
 // and the event arrives by pointer so the batch path never copies it.
 //
 //iocov:hotpath
+//iocov:bounds-ok dense counters are allocated len(Domain()) long and every ord comes from PartitionIndices/Index over the same domain, whose exhaustiveness domaincheck probes
 func (a *Analyzer) addCompiled(e *compiledEntry, ev *trace.Event) {
 	if e == nil {
 		a.skipped++

@@ -10,15 +10,26 @@ func newBitset(n int) []uint64 {
 	return make([]uint64, (n+63)/64)
 }
 
+// setBit marks bit i.
+//
+//iocov:hotpath
+//iocov:bounds-ok i is a layout bit index < layout.total and the bitset is allocated newBitset(layout.total) words
 func setBit(bs []uint64, i int) {
 	bs[i/64] |= 1 << uint(i%64)
 }
 
+// hasBit reports bit i.
+//
+//iocov:hotpath
+//iocov:bounds-ok i is a layout bit index < layout.total and the bitset is allocated newBitset(layout.total) words
 func hasBit(bs []uint64, i int) bool {
 	return bs[i/64]&(1<<uint(i%64)) != 0
 }
 
 // orInto folds src into dst (dst |= src).
+//
+//iocov:hotpath
+//iocov:bounds-ok dst and src are both newBitset(layout.total) words of the same layout
 func orInto(dst, src []uint64) {
 	for i := range src {
 		dst[i] |= src[i]
@@ -26,6 +37,9 @@ func orInto(dst, src []uint64) {
 }
 
 // anyNew reports whether cand covers a bit outside covered.
+//
+//iocov:hotpath
+//iocov:bounds-ok covered and cand are both newBitset(layout.total) words of the same layout
 func anyNew(covered, cand []uint64) bool {
 	for i := range cand {
 		if cand[i]&^covered[i] != 0 {
@@ -36,6 +50,9 @@ func anyNew(covered, cand []uint64) bool {
 }
 
 // countNew counts cand's bits outside covered.
+//
+//iocov:hotpath
+//iocov:bounds-ok covered and cand are both newBitset(layout.total) words of the same layout
 func countNew(covered, cand []uint64) int {
 	n := 0
 	for i := range cand {

@@ -20,8 +20,8 @@ import (
 	"iocov/internal/coverage"
 	"iocov/internal/metrics"
 	"iocov/internal/partition"
-	"iocov/internal/syz"
 	"iocov/internal/sysspec"
+	"iocov/internal/syz"
 )
 
 // Space names one coverage space the loop optimizes: an input argument

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BoundCheck proves hot-path index arithmetic in-bounds. The repo's
+// per-event paths index dense counter slices by Domain() ordinals,
+// partition scratch arrays by indexer position, and evolve bitsets by
+// word index; a bounds miss there is a panic in the middle of a traced
+// syscall storm. The pass walks every function statically reachable from
+// an //iocov:hotpath root (the same traversal as alloccheck, minus its
+// lazy-init exemptions: a lazily initialized index is still an index) and
+// attempts to prove every slice, array, and string index expression
+// in-bounds with the value-analysis lattice (values.go): interval facts
+// from constants, guards, and loop bounds, plus symbolic len() relations
+// and interprocedural return summaries.
+//
+// Indexes the lattice cannot prove are findings — unless the function
+// carries //iocov:bounds-ok <reason>, which sanctions them by naming the
+// external invariant the solver cannot see (e.g. "ordinals come from
+// Domain() whose exhaustiveness domaincheck probes"). The annotation is
+// never a silent skip: a reasonless bounds-ok is a finding, and so is a
+// stale one on a function whose indexes have all become provable, so
+// annotations cannot outlive the code they excuse.
+//
+// Scope notes: map indexes and generic instantiations never panic and are
+// ignored; slice-expression bounds (s[a:b]) are out of scope for this
+// generation of the pass; code inside closure literals runs when the
+// closure does (and closures are already alloccheck findings on hot
+// paths), so it is skipped; statically unreachable blocks (code after an
+// unconditional return) have no runtime behavior to prove.
+type BoundCheck struct{}
+
+// NewBoundCheck returns the pass.
+func NewBoundCheck() *BoundCheck { return &BoundCheck{} }
+
+// Name implements Pass.
+func (b *BoundCheck) Name() string { return "boundcheck" }
+
+// Run implements Pass.
+func (b *BoundCheck) Run(t *Target) []Finding {
+	g := t.CallGraph()
+	eng := t.values()
+	var findings []Finding
+
+	var roots []*CGNode
+	for _, n := range g.Nodes() {
+		if n.FA.hotpath {
+			roots = append(roots, n)
+		}
+	}
+	visited := make(map[*types.Func]bool)
+	for _, root := range roots {
+		reach := g.Reachable([]*types.Func{root.Obj}, func(e *CallSite) bool {
+			return e.Kind == CallStatic && !e.Callee.FA.coldpath
+		})
+		for _, n := range g.Nodes() {
+			if reach[n.Obj] && !visited[n.Obj] {
+				visited[n.Obj] = true
+				findings = append(findings, b.checkFunc(t, eng, n, root.Name())...)
+			}
+		}
+	}
+	return findings
+}
+
+// checkFunc proves (or reports) every index obligation in one reachable
+// function.
+func (b *BoundCheck) checkFunc(t *Target, eng *valueEngine, fn *CGNode, root string) []Finding {
+	an := eng.analysisOf(fn.Pkg, fn.Decl)
+	if an == nil {
+		return nil
+	}
+	type obligation struct {
+		idx *ast.IndexExpr
+		why string
+	}
+	var unproven []obligation
+	an.walk(func(n ast.Node, f *valueFact) {
+		an.visitIndexes(f, n, func(idx *ast.IndexExpr, f *valueFact) {
+			if ok, why := an.proveIndex(f, idx); !ok {
+				unproven = append(unproven, obligation{idx, why})
+			}
+		})
+	})
+
+	name := fn.Name()
+	fa := fn.FA
+	switch {
+	case fa.boundsOK && fa.boundsOKReason == "":
+		return []Finding{{
+			Pass: b.Name(),
+			Pos:  t.Position(fn.Decl.Pos()),
+			Message: fmt.Sprintf(
+				"%s: //iocov:bounds-ok annotation requires a reason stating the bounds invariant",
+				name),
+		}}
+	case fa.boundsOK && len(unproven) == 0:
+		return []Finding{{
+			Pass: b.Name(),
+			Pos:  t.Position(fn.Decl.Pos()),
+			Message: fmt.Sprintf(
+				"%s: stale //iocov:bounds-ok — every index expression is provable, remove the annotation",
+				name),
+		}}
+	case fa.boundsOK:
+		return nil // sanctioned: the reason documents the invariant
+	}
+	var out []Finding
+	for _, ob := range unproven {
+		out = append(out, Finding{
+			Pass: b.Name(),
+			Pos:  t.Position(ob.idx.Pos()),
+			Message: fmt.Sprintf(
+				"%s (hot path via //iocov:hotpath root %s): cannot prove index %s in-bounds: %s; guard it or annotate the function //iocov:bounds-ok <reason>",
+				name, root, types.ExprString(ob.idx), ob.why),
+		})
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoundCheckBad(t *testing.T) {
+	tgt := fixtureTarget(t, "boundcheck_bad")
+	findings := NewBoundCheck().Run(tgt)
+
+	f := requireFinding(t, findings, "cannot prove index counts[ord]")
+	if want := fixtureLine(t, "boundcheck_bad/bad.go", "counts[ord]++"); f.Pos.Line != want {
+		t.Errorf("counts[ord] finding at line %d, want %d", f.Pos.Line, want)
+	}
+	requireFinding(t, findings, "cannot prove index s[i]")
+	requireFinding(t, findings, "cannot prove index words[i / 64]")
+	requireFinding(t, findings, "//iocov:bounds-ok annotation requires a reason")
+	requireFinding(t, findings, "stale //iocov:bounds-ok")
+	requireFinding(t, findings, "cannot prove index b[i]")
+
+	// The dirty helper is attributed to the hot-path root that reaches it.
+	h := requireFinding(t, findings, "dirtyHelper")
+	if !strings.Contains(h.Message, "root RootCallsDirty") {
+		t.Errorf("helper finding not attributed to its root: %s", h.Message)
+	}
+
+	if len(findings) != 6 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("boundcheck_bad produced %d findings, want 6", len(findings))
+	}
+}
+
+func TestBoundCheckClean(t *testing.T) {
+	tgt := fixtureTarget(t, "boundcheck_good")
+	for _, f := range NewBoundCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"go/types"
 	"math"
 	"sort"
 	"strconv"
@@ -87,9 +88,9 @@ func (d *DomainCheck) staticCheck(t *Target) []Finding {
 			if m.partitions == nil || m.domain == nil {
 				continue
 			}
-			domainConsts := constantStrings(pkg, m.domain.Body)
+			domainConsts := constantStrings(t, pkg, m.domain.Body)
 			out = append(out, domainDuplicates(d.Name(), t, pkg, recv, m.domain.Body)...)
-			for _, lbl := range returnedConstants(pkg, m.partitions.Body) {
+			for _, lbl := range returnedLabels(t, pkg, m.partitions) {
 				if _, ok := domainConsts[lbl.value]; !ok {
 					out = append(out, Finding{
 						Pass: d.Name(),
@@ -110,11 +111,17 @@ type constLabel struct {
 	pos   token.Pos
 }
 
-// returnedConstants collects the constant string elements of slice literals
-// inside the return statements of a Partitions body.
-func returnedConstants(pkg *Package, body *ast.BlockStmt) []constLabel {
+// returnedLabels collects the labels a Partitions body can emit statically:
+// the constant string elements of returned slice literals, plus — through
+// the value-analysis lattice — the provable element range of any constant
+// table indexed inside such a literal. A `return []string{Names[v]}` under a
+// `v >= 0 && v < len(Names)` guard contributes exactly the table's
+// elements; an unguarded index contributes the whole table (sound for the
+// emits-outside-domain direction).
+func returnedLabels(t *Target, pkg *Package, fd *ast.FuncDecl) []constLabel {
 	var out []constLabel
-	ast.Inspect(body, func(n ast.Node) bool {
+	var tableElts []*ast.IndexExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		ret, ok := n.(*ast.ReturnStmt)
 		if !ok {
 			return true
@@ -127,6 +134,93 @@ func returnedConstants(pkg *Package, body *ast.BlockStmt) []constLabel {
 			for _, elt := range lit.Elts {
 				if v, ok := constString(pkg, elt); ok {
 					out = append(out, constLabel{value: v, pos: elt.Pos()})
+				} else if idx, ok := unparen(elt).(*ast.IndexExpr); ok {
+					tableElts = append(tableElts, idx)
+				}
+			}
+		}
+		return true
+	})
+	if len(tableElts) == 0 {
+		return out
+	}
+
+	eng := t.values()
+	an := eng.analysisOf(pkg, fd)
+	want := make(map[*ast.IndexExpr]bool, len(tableElts))
+	for _, idx := range tableElts {
+		want[idx] = true
+	}
+	done := make(map[*ast.IndexExpr]bool)
+	emit := func(idx *ast.IndexExpr, f *valueFact) {
+		done[idx] = true
+		obj := an.packageVarOf(idx.X)
+		if obj == nil {
+			return
+		}
+		tbl, ok := eng.constTableOf(obj)
+		if !ok {
+			return
+		}
+		lo, hi := int64(0), int64(len(tbl))-1
+		if f != nil {
+			iv := an.eval(f, idx.Index)
+			if !iv.loInf && iv.lo > lo {
+				lo = iv.lo
+			}
+			if !iv.hiInf && iv.hi < hi {
+				hi = iv.hi
+			}
+		}
+		for i := lo; i <= hi; i++ {
+			out = append(out, constLabel{value: tbl[i], pos: idx.Pos()})
+		}
+	}
+	if an != nil {
+		an.walk(func(n ast.Node, f *valueFact) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if idx, ok := m.(*ast.IndexExpr); ok && want[idx] && !done[idx] {
+					emit(idx, f)
+				}
+				return true
+			})
+		})
+	}
+	for _, idx := range tableElts {
+		// Never reached by the walk (dead code, or no analysis): take the
+		// whole table without interval narrowing.
+		if an != nil && !done[idx] {
+			emit(idx, nil)
+		}
+	}
+	return out
+}
+
+// constantStrings collects every folded string constant in a subtree, and
+// expands references to constant string tables (package-level never-written
+// `var X = []string{...}` vars) into their elements, so a Domain built as
+// `append(append([]string(nil), Names...), Extra)` declares Names' labels.
+func constantStrings(t *Target, pkg *Package, node ast.Node) map[string]token.Pos {
+	eng := t.values()
+	out := make(map[string]token.Pos)
+	add := func(v string, pos token.Pos) {
+		if _, seen := out[v]; !seen {
+			out[v] = pos
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if v, ok := constString(pkg, expr); ok {
+			add(v, expr.Pos())
+			return true
+		}
+		if obj := tableVarOf(pkg, expr); obj != nil {
+			if tbl, ok := eng.constTableOf(obj); ok {
+				for _, v := range tbl {
+					add(v, expr.Pos())
 				}
 			}
 		}
@@ -135,20 +229,20 @@ func returnedConstants(pkg *Package, body *ast.BlockStmt) []constLabel {
 	return out
 }
 
-// constantStrings collects every folded string constant in a subtree.
-func constantStrings(pkg *Package, node ast.Node) map[string]token.Pos {
-	out := make(map[string]token.Pos)
-	ast.Inspect(node, func(n ast.Node) bool {
-		if expr, ok := n.(ast.Expr); ok {
-			if v, ok := constString(pkg, expr); ok {
-				if _, seen := out[v]; !seen {
-					out[v] = expr.Pos()
-				}
+// tableVarOf resolves an identifier or package-qualified selector to its
+// object, for constant-table lookup.
+func tableVarOf(pkg *Package, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if id, ok := unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return pkg.Info.ObjectOf(x.Sel)
 			}
 		}
-		return true
-	})
-	return out
+	}
+	return nil
 }
 
 // domainDuplicates flags constant labels repeated inside one slice literal

@@ -11,27 +11,33 @@ import (
 )
 
 // TestDomainCheckBadFixture runs the static check against the pre-PR-1
-// BytesScheme bug reproduced under testdata: Partitions can return the "<0"
+// BytesScheme bug reproduced under testdata (Partitions can return the "<0"
 // label that Domain() never declares, and the diagnostic must point at the
-// exact return element.
+// exact return element) plus the table-indexed WhenceScheme whose Domain
+// forgets an element the index guard admits.
 func TestDomainCheckBadFixture(t *testing.T) {
 	findings := NewDomainCheck().Run(fixtureTarget(t, "domaincheck_bad"))
-	if len(findings) != 1 {
-		for _, f := range findings {
-			t.Logf("finding: %s", f)
-		}
-		t.Fatalf("got %d findings, want exactly 1", len(findings))
-	}
-	f := findings[0]
-	want := `BytesScheme.Partitions may emit label "<0" that BytesScheme.Domain() never declares`
-	if !strings.Contains(f.Message, want) {
-		t.Errorf("message = %q, want it to contain %q", f.Message, want)
-	}
+
+	f := requireFinding(t, findings, `BytesScheme.Partitions may emit label "<0" that BytesScheme.Domain() never declares`)
 	if !strings.HasSuffix(f.Pos.Filename, "bad.go") {
 		t.Errorf("finding filename = %q, want bad.go", f.Pos.Filename)
 	}
 	if wantLine := fixtureLine(t, "domaincheck_bad/bad.go", "return []string{labelNegative}"); f.Pos.Line != wantLine {
 		t.Errorf("finding line = %d, want %d (the labelNegative return)", f.Pos.Line, wantLine)
+	}
+
+	// The SEEK_END label never appears as a constant in WhenceScheme's
+	// source: it is reachable only through the interval over seekNames.
+	w := requireFinding(t, findings, `WhenceScheme.Partitions may emit label "SEEK_END" that WhenceScheme.Domain() never declares`)
+	if wantLine := fixtureLine(t, "domaincheck_bad/bad.go", "return []string{seekNames[v]}"); w.Pos.Line != wantLine {
+		t.Errorf("table finding line = %d, want %d (the seekNames[v] return)", w.Pos.Line, wantLine)
+	}
+
+	if len(findings) != 2 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want exactly 2", len(findings))
 	}
 }
 

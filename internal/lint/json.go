@@ -37,3 +37,27 @@ func WriteJSON(w io.Writer, findings []Finding) error {
 	}
 	return nil
 }
+
+// JSONTiming is one pass's wall-clock analysis time in the -json trailer.
+type JSONTiming struct {
+	Pass string  `json:"pass"`
+	Ms   float64 `json:"ms"`
+}
+
+// WriteJSONTimings appends the per-pass timing trailer to a -json stream: a
+// single {"timings":[...]} object after the finding lines. Line-oriented
+// consumers keep filtering findings by their "pass" key; tooling that
+// tracks engine cost reads the trailer.
+func WriteJSONTimings(w io.Writer, times []PassTime) error {
+	type trailer struct {
+		Timings []JSONTiming `json:"timings"`
+	}
+	tr := trailer{Timings: make([]JSONTiming, 0, len(times))}
+	for _, pt := range times {
+		tr.Timings = append(tr.Timings, JSONTiming{
+			Pass: pt.Name,
+			Ms:   float64(pt.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	return json.NewEncoder(w).Encode(tr)
+}

@@ -32,6 +32,8 @@ func TestJSONGolden(t *testing.T) {
 		NewLeakCheck(),
 		NewAtomCheck(),
 		NewDetermCheck(),
+		fixtureWireCheck(),
+		NewBoundCheck(),
 	}
 	// The golden suite must cover exactly the canonical pass list, in order,
 	// so a new pass cannot ship without a schema golden.

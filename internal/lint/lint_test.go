@@ -81,18 +81,29 @@ func TestRepoSelfCheck(t *testing.T) {
 
 func TestSelectPasses(t *testing.T) {
 	all, err := SelectPasses("")
-	if err != nil || len(all) != 10 {
-		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 10, nil", len(all), err)
+	if err != nil || len(all) != 12 {
+		t.Fatalf("SelectPasses(\"\") = %d passes, err %v; want 12, nil", len(all), err)
 	}
-	if last := all[len(all)-1].Name(); last != "determcheck" {
-		t.Fatalf("last pass = %s, want determcheck", last)
+	if last := all[len(all)-1].Name(); last != "boundcheck" {
+		t.Fatalf("last pass = %s, want boundcheck", last)
 	}
 	two, err := SelectPasses("lockcheck, errcheck")
 	if err != nil || len(two) != 2 || two[0].Name() != "lockcheck" || two[1].Name() != "errcheck" {
 		t.Fatalf("SelectPasses(lockcheck, errcheck) = %v, err %v", two, err)
 	}
-	if _, err := SelectPasses("nosuchpass"); err == nil {
+	err = func() error { _, err := SelectPasses("nosuchpass"); return err }()
+	if err == nil {
 		t.Fatal("SelectPasses(nosuchpass) did not fail")
+	}
+	// The error must name the offender and enumerate every valid pass, so a
+	// CLI typo is self-correcting.
+	if !strings.Contains(err.Error(), `unknown pass "nosuchpass"`) {
+		t.Errorf("error does not name the unknown pass: %v", err)
+	}
+	for _, name := range PassNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list valid pass %s: %v", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,62 @@
+// Package boundcheck_bad holds bounds violations the pass must catch.
+package boundcheck_bad
+
+// Unguarded parameter index on a hot path.
+//
+//iocov:hotpath
+func Unguarded(counts []int64, ord int) {
+	counts[ord]++ // want: cannot prove
+}
+
+// Off-by-one guard: i can equal len(s).
+//
+//iocov:hotpath
+func OffByOne(s []byte) int {
+	t := 0
+	for i := 0; i <= len(s); i++ {
+		t += int(s[i]) // want: cannot prove
+	}
+	return t
+}
+
+// The root is clean but its helper is reachable and dirty.
+//
+//iocov:hotpath
+func RootCallsDirty(words []uint64, i int) {
+	dirtyHelper(words, i)
+}
+
+func dirtyHelper(words []uint64, i int) {
+	words[i/64] |= 1 // want: cannot prove (i may be negative)
+}
+
+// A bounds-ok annotation without a reason is itself a finding.
+//
+//iocov:hotpath
+//iocov:bounds-ok
+func Reasonless(bs []uint64, i int) {
+	bs[i] = 0
+}
+
+// A stale bounds-ok: every index here is provable, so the annotation must
+// be removed.
+//
+//iocov:hotpath
+//iocov:bounds-ok left over from an earlier version
+func Stale(s []int) int {
+	t := 0
+	for i := range s {
+		t += s[i]
+	}
+	return t
+}
+
+// The guard tests one slice but the index goes into another.
+//
+//iocov:hotpath
+func WrongSlice(a, b []int, i int) int {
+	if i >= 0 && i < len(a) {
+		return b[i] // want: cannot prove
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+// Package boundcheck_good holds hot-path index patterns the pass must
+// prove without annotations (plus one justified bounds-ok).
+package boundcheck_good
+
+// Classic counting loop over a slice length.
+//
+//iocov:hotpath
+func Sum(s []int64) int64 {
+	var t int64
+	for i := 0; i < len(s); i++ {
+		t += s[i]
+	}
+	return t
+}
+
+// Range loop and array indexing under a folded constant bound.
+//
+//iocov:hotpath
+func Histogram(vals []uint8) [256]int {
+	var h [256]int
+	for i := range vals {
+		h[vals[i]]++ // vals[i] via range rel; h[...] via uint8 type interval
+	}
+	return h
+}
+
+// The unsigned-compare guard covers negative and too-large in one test.
+//
+//iocov:hotpath
+func Dispatch(table []func(), id int) {
+	if uint(id) < uint(len(table)) {
+		if table[id] != nil {
+			table[id]()
+		}
+	}
+}
+
+// A guard on the length itself proves constant indexes.
+//
+//iocov:hotpath
+func FirstByte(s string) byte {
+	if len(s) > 0 && s[0] == '/' {
+		return s[0]
+	}
+	return 0
+}
+
+// Modulo by the dense table size.
+//
+//iocov:hotpath
+func Stripe(h uint64, stripes *[8]int64) {
+	stripes[h%8]++
+}
+
+// Map indexes never panic; closures are out of scope.
+//
+//iocov:hotpath
+func Lookup(m map[string]int, key string) int {
+	return m[key]
+}
+
+// An external invariant the lattice cannot see, properly annotated.
+//
+//iocov:hotpath
+//iocov:bounds-ok ord is a domain ordinal < len(dense) by the caller's layout contract
+func Bump(dense []int64, ord int) {
+	dense[ord]++
+}
+
+// Traversal stops at coldpath boundaries: the dirty index below is
+// explicitly out of the hot contract.
+//
+//iocov:hotpath
+func FastWithSlowFallback(s []int, i int) int {
+	if uint(i) < uint(len(s)) {
+		return s[i]
+	}
+	return slowFallback(s, i)
+}
+
+//iocov:coldpath
+func slowFallback(s []int, i int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[i%len(s)]
+}

@@ -50,3 +50,26 @@ func (BytesScheme) Domain() []string {
 	}
 	return out
 }
+
+// seekNames is a constant table: package-level, literal elements, never
+// written.
+var seekNames = []string{"SEEK_SET", "SEEK_CUR", "SEEK_END"}
+
+// WhenceScheme routes in-range values through the table, so its labels
+// never appear as source constants in Partitions — only interval analysis
+// over the table can see them.
+type WhenceScheme struct{}
+
+func (WhenceScheme) Scheme() string { return "whence" }
+
+func (WhenceScheme) Partitions(v int64) []string {
+	if v >= 0 && v < int64(len(seekNames)) {
+		return []string{seekNames[v]}
+	}
+	return []string{"INVALID"}
+}
+
+// Domain forgets SEEK_END even though the guard admits index 2.
+func (WhenceScheme) Domain() []string {
+	return []string{"SEEK_SET", "SEEK_CUR", "INVALID"}
+}

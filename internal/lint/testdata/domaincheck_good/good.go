@@ -47,3 +47,45 @@ func (BytesScheme) Domain() []string {
 	}
 	return out
 }
+
+// seekNames is a constant table shared by the whence twin below.
+var seekNames = []string{"SEEK_SET", "SEEK_CUR", "SEEK_END"}
+
+// WhenceScheme is clean only if the checker expands the table on both
+// sides: Partitions emits its elements through an index, and Domain
+// declares them through an append of the same table.
+type WhenceScheme struct{}
+
+func (WhenceScheme) Scheme() string { return "whence" }
+
+func (WhenceScheme) Partitions(v int64) []string {
+	if v >= 0 && v < int64(len(seekNames)) {
+		return []string{seekNames[v]}
+	}
+	return []string{"INVALID"}
+}
+
+func (WhenceScheme) Domain() []string {
+	return append(append([]string(nil), seekNames...), "INVALID")
+}
+
+// levelNames has one element the guard below can never reach.
+var levelNames = []string{"low", "mid", "high", "debug-only"}
+
+// LevelScheme is clean only if the lattice narrows the index to the
+// guard's range [0,2]: a whole-table over-approximation would emit
+// "debug-only", which Domain deliberately omits.
+type LevelScheme struct{}
+
+func (LevelScheme) Scheme() string { return "level" }
+
+func (LevelScheme) Partitions(v int64) []string {
+	if v >= 0 && v < 3 {
+		return []string{levelNames[v]}
+	}
+	return []string{"other"}
+}
+
+func (LevelScheme) Domain() []string {
+	return []string{"low", "mid", "high", "other"}
+}

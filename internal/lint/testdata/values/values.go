@@ -1,0 +1,161 @@
+// Package values is the value-analysis golden fixture: TestValuesGolden
+// dumps the interval of every probe() argument and the proof status of
+// every index expression, comparing against values_golden.txt.
+package values
+
+// probe is the golden test's observation point: each argument's interval
+// at the call site is recorded.
+func probe(vs ...int) {}
+
+// names is a constant table: initialized with string constants and never
+// written, so its length (4) is statically known.
+var names = []string{"a", "b", "c", "d"}
+
+// leaked is NOT a constant table: mutated by poison below.
+var leaked = []string{"x", "y"}
+
+func poison() { leaked[0] = "z" }
+
+func constants() {
+	x := 3
+	probe(x) // [3,3]
+	x++
+	probe(x) // [4,4]
+	y := x * 2
+	probe(y) // [8,8]
+	z := y - x
+	probe(z) // [4,4]
+}
+
+func branches(n int) {
+	if n > 10 {
+		probe(n) // [11,+inf]
+	} else {
+		probe(n) // [-inf,10]
+	}
+	if n >= 0 && n < 4 {
+		probe(n) // [0,3]
+		_ = names[n]
+	}
+	if !(n < 0) {
+		probe(n) // [0,+inf]
+	}
+}
+
+func loops(a [10]int) {
+	for i := 0; i < 10; i++ {
+		probe(i) // [0,9]
+		_ = a[i]
+	}
+	k := 0
+	for k <= 62 {
+		probe(k) // [0,62]
+		k++
+	}
+	probe(k) // [63,63]
+}
+
+func sliceLoop(s []int) {
+	for i := 0; i < len(s); i++ {
+		_ = s[i]     // proven via i <= len(s)-1
+		_ = s[i+1]   // NOT proven: i+1 can be len(s)
+	}
+	for j := range s {
+		_ = s[j] // proven via range binding
+	}
+}
+
+func unsignedGuard(dict []string, id uint64) {
+	if id != 0 {
+		if uint(id) <= uint(len(dict)) {
+			_ = dict[id-1] // proven: id in [1, len(dict)]
+		}
+	}
+}
+
+func conversions(b byte, w uint16) {
+	x := int(b)
+	probe(x) // [0,255]
+	y := int(w) / 4
+	probe(y) // [0,16383]
+	z := int(int8(x)) // lossy: x may exceed int8
+	probe(z)          // [-128,127]
+}
+
+func masks(h uint64, s string) {
+	i := int(h % 8)
+	probe(i) // [0,7]
+	var t [8]int
+	_ = t[i] // proven
+	j := int(h) & 63
+	probe(j) // [0,63]
+	for p := 0; p < len(s); p++ {
+		_ = s[p] // proven
+	}
+}
+
+// small returns one of two constants: callers see [1,2] through the
+// interprocedural summary.
+func small(flag bool) int {
+	if flag {
+		return 2
+	}
+	return 1
+}
+
+func summaries(flag bool) {
+	v := small(flag)
+	probe(v) // [1,2]
+	probe(len(names)) // [4,4]
+	probe(len(leaked)) // [0,+inf] — mutated, not a constant table
+}
+
+func tableIndex(v int) {
+	if v >= 0 && v < len(names) {
+		_ = names[v] // proven: constant table length folds
+	}
+	if v >= 0 && v < len(leaked) {
+		_ = leaked[v] // NOT proven: len(leaked) unknown
+	}
+}
+
+func shortCircuit(v string, ss []string) {
+	if len(v) > 0 && v[0] == '/' {
+		_ = v[0] // proven inside the body too
+	}
+	if v[0] == '/' && len(v) > 0 {
+		// NOT proven: the index evaluates before the length guard
+		_ = v
+	}
+	for _, s := range ss {
+		if len(s) > 2 || s[1] == 'x' { // NOT proven: || false-edge gives len<=2, not >1
+			continue
+		}
+		_ = s
+	}
+	if len(v) >= 2 {
+		probe(len(v)) // [2,+inf]
+		_ = v[1]      // proven via length lower bound
+	}
+}
+
+func madeLens(n int) {
+	buf := make([]byte, 16)
+	probe(len(buf)) // [16,16]
+	_ = buf[15]     // proven
+	lit := []int{1, 2, 3}
+	_ = lit[2] // proven
+	if n >= 0 && n < 16 {
+		_ = buf[n] // proven via make length
+	}
+}
+
+func accumulate(s []byte) {
+	total := 0
+	for i := range s {
+		if s[i] > 0 {
+			total++
+		}
+	}
+	probe(total) // [0,+inf] — widened
+}

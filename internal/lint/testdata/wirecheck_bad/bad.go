@@ -1,0 +1,317 @@
+// Package wirecheck_bad holds a miniature wire format with one seeded
+// violation of each wirecheck rule: a field reorder in one decoder, a
+// varint-width change in the other, an uncapped unbudgeted allocation, an
+// unguarded dictionary append, and a negotiated version no sequence
+// implements.
+package wirecheck_bad
+
+import "errors"
+
+var errShort = errors.New("short read")
+var errBad = errors.New("bad value")
+
+const (
+	maxStr   = 1 << 10
+	maxEvent = 1 << 12
+	maxDict  = 1 << 8
+)
+
+type KV struct{ K, V string }
+
+type Event struct {
+	Seq   uint64
+	Pid   uint64
+	Name  string
+	Strs  []KV
+	Ret   int64
+	Errno uint64
+}
+
+// ---------------------------------------------------------------------------
+// Encoder: the reference sequence.
+
+type Writer struct {
+	version int
+	prevSeq uint64
+	buf     []byte
+}
+
+func (w *Writer) uvarint(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+func (w *Writer) varint(v int64) {
+	w.uvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+func (w *Writer) str(s string) {
+	w.uvarint(0)
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *Writer) Emit(ev Event) {
+	if w.version >= 2 {
+		w.varint(int64(ev.Seq - w.prevSeq))
+		w.prevSeq = ev.Seq
+	} else {
+		w.uvarint(ev.Seq)
+	}
+	w.uvarint(ev.Pid)
+	w.str(ev.Name)
+	w.uvarint(uint64(len(ev.Strs)))
+	for _, kv := range ev.Strs {
+		w.str(kv.K)
+		w.str(kv.V)
+	}
+	w.varint(ev.Ret)
+	w.uvarint(ev.Errno)
+}
+
+// ---------------------------------------------------------------------------
+// Decoder 1: reads the name before the pid (field reorder), allocates the
+// string buffer with no length cap and no byte budget, and retains
+// dictionary entries without a cap.
+
+type Parser struct {
+	version int
+	seq     uint64
+	data    []byte
+	pos     int
+	dict    []string
+}
+
+func (p *Parser) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for p.pos < len(p.data) {
+		b := p.data[p.pos]
+		p.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, errShort
+}
+
+func (p *Parser) varint() (int64, error) {
+	u, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (p *Parser) str() (string, error) {
+	id, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if id > 0 {
+		if id > uint64(len(p.dict)) {
+			return "", errBad
+		}
+		return p.dict[id-1], nil
+	}
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n) // want: unbounded size, no budget check
+	if copy(buf, p.data[p.pos:]) < int(n) {
+		return "", errShort
+	}
+	p.pos += int(n)
+	s := string(buf)
+	p.dict = append(p.dict, s) // want: no len cap guard
+	return s, nil
+}
+
+func (p *Parser) Next() (Event, error) {
+	var ev Event
+	if p.version >= 2 {
+		d, err := p.varint()
+		if err != nil {
+			return ev, err
+		}
+		p.seq += uint64(d)
+		ev.Seq = p.seq
+	} else {
+		s, err := p.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		ev.Seq = s
+	}
+	name, err := p.str() // want: reordered before the pid read
+	if err != nil {
+		return ev, err
+	}
+	ev.Name = name
+	if ev.Pid, err = p.uvarint(); err != nil {
+		return ev, err
+	}
+	nStrs, err := p.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	for i := uint64(0); i < nStrs; i++ {
+		k, err := p.str()
+		if err != nil {
+			return ev, err
+		}
+		v, err := p.str()
+		if err != nil {
+			return ev, err
+		}
+		ev.Strs = append(ev.Strs, KV{k, v})
+	}
+	if ev.Ret, err = p.varint(); err != nil {
+		return ev, err
+	}
+	if ev.Errno, err = p.uvarint(); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoder 2: correct field order but reads the return value with the wrong
+// varint width (uvarint where the encoder zigzags). Its string reader is
+// disciplined, so only the width change reports.
+
+type Batch struct {
+	version int
+	seq     uint64
+	evBytes int
+	data    []byte
+	pos     int
+	dict    []string
+}
+
+func (b *Batch) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for b.pos < len(b.data) {
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, errShort
+}
+
+func (b *Batch) varint() (int64, error) {
+	u, err := b.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (b *Batch) str() (string, error) {
+	id, err := b.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if id > 0 {
+		if id > uint64(len(b.dict)) {
+			return "", errBad
+		}
+		return b.dict[id-1], nil
+	}
+	n, err := b.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStr {
+		return "", errBad
+	}
+	if b.evBytes += int(n); b.evBytes > maxEvent {
+		return "", errBad
+	}
+	buf := make([]byte, n)
+	if copy(buf, b.data[b.pos:]) < int(n) {
+		return "", errShort
+	}
+	b.pos += int(n)
+	s := string(buf)
+	if len(b.dict) < maxDict {
+		b.dict = append(b.dict, s)
+	}
+	return s, nil
+}
+
+func (b *Batch) Next() (Event, error) {
+	var ev Event
+	if b.version >= 2 {
+		d, err := b.varint()
+		if err != nil {
+			return ev, err
+		}
+		b.seq += uint64(d)
+		ev.Seq = b.seq
+	} else {
+		s, err := b.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		ev.Seq = s
+	}
+	var err error
+	if ev.Pid, err = b.uvarint(); err != nil {
+		return ev, err
+	}
+	if ev.Name, err = b.str(); err != nil {
+		return ev, err
+	}
+	nStrs, err := b.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	for i := uint64(0); i < nStrs; i++ {
+		k, err := b.str()
+		if err != nil {
+			return ev, err
+		}
+		v, err := b.str()
+		if err != nil {
+			return ev, err
+		}
+		ev.Strs = append(ev.Strs, KV{k, v})
+	}
+	ret, err := b.uvarint() // want: width change, encoder zigzags this field
+	if err != nil {
+		return ev, err
+	}
+	ev.Ret = int64(ret)
+	if ev.Errno, err = b.uvarint(); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// declaredFormat admits version 3, which no version branch implements.
+func declaredFormat(h string) int {
+	switch h {
+	case "":
+		return 0
+	case "1":
+		return 1
+	case "2":
+		return 2
+	case "3":
+		return 3 // want: admitted but unimplemented
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,820 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireCheck proves the binary trace format's encode/decode symmetry and the
+// decoder's adversarial-input discipline statically, instead of leaving both
+// to the fuzz harness:
+//
+//   - W1 (sequence symmetry): the per-event field sequence — order, varint
+//     width (uvarint vs zigzag varint), string dictionary compression, count
+//     prefixes, and format-version branches — is extracted from the encoder
+//     and from every decoder as a tree of wire operations, and each decoder's
+//     tree must mirror the encoder's exactly. A reordered field, a width
+//     change on one side, or a version branch present on only one side is
+//     reported at its first point of divergence.
+//   - W2 (allocation budgets): inside the decoder types, every allocation
+//     whose size is not a folded constant is wire-derived (the size came off
+//     the untrusted stream) and must be provably capped: the value lattice
+//     (values.go) must bound the size to a finite interval (a declared-length
+//     cap check), and a terminating accumulator-budget guard of the shape
+//     `if acc += n; acc > budget { return ... }` must precede the allocation
+//     in source order, so one event cannot repeat capped allocations into an
+//     unbounded total.
+//   - W2c (dictionary retention): a decoder append to a receiver slice field
+//     (the string dictionary) must sit under a `len(field) < cap` guard;
+//     otherwise a malicious stream grows decoder memory without bound.
+//   - W3 (negotiation coverage): every positive format version the
+//     negotiation function can admit (its returned constants) must be
+//     covered by the encoder and every decoder — version 1 is the base
+//     sequence, higher versions must appear as constants in a version
+//     branch. A negotiation that admits a version no wire sequence
+//     implements is an ingest-time failure for a conforming client.
+//
+// The pass is configured with the encoder/decoder functions, the primitive
+// method names treated as atomic wire operations, and the receiver field
+// whose comparisons constitute format-version branches; everything else is
+// derived from the ASTs, so the check follows the real writers and readers
+// as they evolve.
+type WireCheck struct {
+	Spec WireSpec
+}
+
+// WireSpec names the functions and conventions one wire format is built
+// from.
+type WireSpec struct {
+	// Pkg is the import path holding the encoder and decoders; "" searches
+	// every target package. A configured Pkg missing from the target skips
+	// the pass (partial-target runs).
+	Pkg string
+	// Encoder is the event-encoding function, "Type.Method" or "Func".
+	Encoder string
+	// Decoders are the event-decoding functions, each checked against the
+	// encoder independently.
+	Decoders []string
+	// Primitives are the receiver method names treated as atomic wire
+	// operations (e.g. uvarint, varint, str); their bodies are not entered.
+	Primitives []string
+	// VersionField is the receiver field whose comparisons are
+	// format-version branches rather than ordinary control flow.
+	VersionField string
+	// NegotiationPkg/NegotiationFunc locate the transport's format
+	// negotiation; "" skips the W3 coverage rule.
+	NegotiationPkg  string
+	NegotiationFunc string
+}
+
+// NewWireCheck returns the pass configured for this repository's binary
+// trace format: BinaryWriter.Emit against both decoders, with the
+// iocovd daemon's X-Iocov-Format negotiation.
+func NewWireCheck() *WireCheck {
+	return &WireCheck{Spec: WireSpec{
+		Pkg:             "iocov/internal/trace",
+		Encoder:         "BinaryWriter.Emit",
+		Decoders:        []string{"BinaryParser.Next", "BatchDecoder.Next"},
+		Primitives:      []string{"uvarint", "varint", "str"},
+		VersionField:    "version",
+		NegotiationPkg:  "iocov/internal/server",
+		NegotiationFunc: "declaredFormat",
+	}}
+}
+
+// Name implements Pass.
+func (w *WireCheck) Name() string { return "wirecheck" }
+
+// Run implements Pass.
+func (w *WireCheck) Run(t *Target) []Finding {
+	if w.Spec.Pkg != "" && t.Package(w.Spec.Pkg) == nil {
+		return nil // partial target without the wire package
+	}
+	var out []Finding
+
+	encPkg, encDecl := w.resolve(t, w.Spec.Pkg, w.Spec.Encoder)
+	if encDecl == nil {
+		return []Finding{{Pass: w.Name(), Message: fmt.Sprintf(
+			"wirecheck is configured for encoder %s, which does not exist", w.Spec.Encoder)}}
+	}
+	encOps := w.extract(encPkg, encDecl)
+
+	type decoder struct {
+		name string
+		pkg  *Package
+		decl *ast.FuncDecl
+		ops  []wireOp
+	}
+	var decoders []decoder
+	for _, name := range w.Spec.Decoders {
+		pkg, decl := w.resolve(t, w.Spec.Pkg, name)
+		if decl == nil {
+			out = append(out, Finding{Pass: w.Name(), Message: fmt.Sprintf(
+				"wirecheck is configured for decoder %s, which does not exist", name)})
+			continue
+		}
+		d := decoder{name: name, pkg: pkg, decl: decl, ops: w.extract(pkg, decl)}
+		decoders = append(decoders, d)
+
+		// W1: the decoder's wire sequence must mirror the encoder's.
+		if f := w.compare(t, w.Spec.Encoder, name, encOps, d.ops, "event"); f != nil {
+			out = append(out, *f)
+		}
+
+		// W2/W2c: allocation and retention discipline across every method
+		// of the decoder's receiver type.
+		out = append(out, w.checkDecoderType(t, pkg, d.decl)...)
+	}
+
+	// W3: every version the negotiation admits must be implemented by the
+	// encoder and every decoder.
+	if w.Spec.NegotiationFunc != "" {
+		negPkg, negDecl := w.resolve(t, w.Spec.NegotiationPkg, w.Spec.NegotiationFunc)
+		if w.Spec.NegotiationPkg != "" && t.Package(w.Spec.NegotiationPkg) == nil {
+			// Partial target without the transport package: skip W3.
+		} else if negDecl == nil {
+			out = append(out, Finding{Pass: w.Name(), Message: fmt.Sprintf(
+				"wirecheck is configured for negotiation function %s, which does not exist",
+				w.Spec.NegotiationFunc)})
+		} else {
+			sequences := map[string][]wireOp{w.Spec.Encoder: encOps}
+			order := []string{w.Spec.Encoder}
+			for _, d := range decoders {
+				sequences[d.name] = d.ops
+				order = append(order, d.name)
+			}
+			out = append(out, w.checkNegotiation(t, negPkg, negDecl, order, sequences)...)
+		}
+	}
+	return out
+}
+
+// resolve finds the FuncDecl named "Type.Method" or "Func" in pkg (or in any
+// target package when pkg is "").
+func (w *WireCheck) resolve(t *Target, pkgPath, name string) (*Package, *ast.FuncDecl) {
+	recv, method, _ := strings.Cut(name, ".")
+	if method == "" {
+		recv, method = "", recv
+	}
+	for _, pkg := range t.Pkgs {
+		if pkgPath != "" && pkg.Path != pkgPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != method || fd.Body == nil {
+					continue
+				}
+				if recv == "" {
+					if fd.Recv == nil {
+						return pkg, fd
+					}
+					continue
+				}
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && recvTypeName(fd.Recv.List[0].Type) == recv {
+					return pkg, fd
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// W1: wire sequence extraction and comparison
+
+type wireOpKind int
+
+const (
+	wirePrim wireOpKind = iota
+	wireBranch
+	wireRepeat
+)
+
+// wireOp is one node of an extracted wire sequence: a primitive read/write,
+// a format-version branch, or a repeated group (count-prefixed loop).
+type wireOp struct {
+	kind wireOpKind
+	prim string   // wirePrim: the primitive method name
+	cond string   // wireBranch: condition text with the receiver stripped
+	vers []int64  // wireBranch: version constants appearing in cond
+	then []wireOp // wireBranch
+	els  []wireOp // wireBranch
+	body []wireOp // wireRepeat
+	pos  token.Pos
+}
+
+func (op wireOp) describe() string {
+	switch op.kind {
+	case wirePrim:
+		return op.prim
+	case wireBranch:
+		return fmt.Sprintf("a branch on %q", op.cond)
+	default:
+		return "a repeated group"
+	}
+}
+
+// wireExtractor walks one function body collecting its wire operations.
+type wireExtractor struct {
+	pkg          *Package
+	recv         types.Object // receiver variable, nil for plain functions
+	recvName     string
+	prims        map[string]bool
+	versionField string
+}
+
+// extract builds the wire-operation tree of one encoder/decoder body.
+func (w *WireCheck) extract(pkg *Package, fd *ast.FuncDecl) []wireOp {
+	x := &wireExtractor{pkg: pkg, prims: map[string]bool{}, versionField: w.Spec.VersionField}
+	for _, p := range w.Spec.Primitives {
+		x.prims[p] = true
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		id := fd.Recv.List[0].Names[0]
+		x.recv = pkg.Info.ObjectOf(id)
+		x.recvName = id.Name
+	}
+	return x.stmts(fd.Body.List)
+}
+
+func (x *wireExtractor) stmts(list []ast.Stmt) []wireOp {
+	var out []wireOp
+	for _, s := range list {
+		out = append(out, x.stmt(s)...)
+	}
+	return out
+}
+
+func (x *wireExtractor) stmt(s ast.Stmt) []wireOp {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		var out []wireOp
+		if st.Init != nil {
+			out = append(out, x.stmt(st.Init)...)
+		}
+		if x.isVersionCond(st.Cond) {
+			op := wireOp{
+				kind: wireBranch,
+				cond: x.condText(st.Cond),
+				vers: x.intConsts(st.Cond),
+				then: x.stmts(st.Body.List),
+				els:  x.elseOps(st.Else),
+				pos:  st.Pos(),
+			}
+			return append(out, op)
+		}
+		// An ordinary if (error check, validation) is transparent: its
+		// pieces contribute their primitives in evaluation order. Error
+		// bodies hold only returns, so splicing loses nothing.
+		out = append(out, x.nodeOps(st.Cond)...)
+		out = append(out, x.stmts(st.Body.List)...)
+		out = append(out, x.elseOps(st.Else)...)
+		return out
+	case *ast.ForStmt:
+		var out []wireOp
+		if st.Init != nil {
+			out = append(out, x.stmt(st.Init)...)
+		}
+		body := x.nodeOps(st.Cond)
+		body = append(body, x.stmts(st.Body.List)...)
+		if st.Post != nil {
+			body = append(body, x.stmt(st.Post)...)
+		}
+		return append(out, wireOp{kind: wireRepeat, body: body, pos: st.Pos()})
+	case *ast.RangeStmt:
+		out := x.nodeOps(st.X)
+		return append(out, wireOp{kind: wireRepeat, body: x.stmts(st.Body.List), pos: st.Pos()})
+	case *ast.BlockStmt:
+		return x.stmts(st.List)
+	default:
+		return x.nodeOps(s)
+	}
+}
+
+func (x *wireExtractor) elseOps(s ast.Stmt) []wireOp {
+	switch e := s.(type) {
+	case nil:
+		return nil
+	case *ast.BlockStmt:
+		return x.stmts(e.List)
+	default:
+		return x.stmt(e)
+	}
+}
+
+// nodeOps collects primitive calls from a non-control node in preorder.
+func (x *wireExtractor) nodeOps(n ast.Node) []wireOp {
+	if n == nil {
+		return nil
+	}
+	var out []wireOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch c := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := x.primCall(c); ok {
+				out = append(out, wireOp{kind: wirePrim, prim: name, pos: c.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// primCall recognizes recv.<primitive>(...) calls.
+func (x *wireExtractor) primCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !x.prims[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if x.recv != nil && x.pkg.Info.ObjectOf(id) != x.recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isVersionCond reports whether the condition reads the configured version
+// field of the receiver.
+func (x *wireExtractor) isVersionCond(cond ast.Expr) bool {
+	if x.versionField == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == x.versionField {
+			if id, ok := unparen(sel.X).(*ast.Ident); ok {
+				if x.recv == nil || x.pkg.Info.ObjectOf(id) == x.recv {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// condText renders the branch condition with the receiver name stripped, so
+// `w.version >= 2` and `d.version >= 2` compare equal across functions.
+func (x *wireExtractor) condText(cond ast.Expr) string {
+	s := types.ExprString(cond)
+	if x.recvName != "" {
+		s = strings.ReplaceAll(s, x.recvName+".", "")
+	}
+	return s
+}
+
+// intConsts collects the folded integer constants in a condition.
+func (x *wireExtractor) intConsts(cond ast.Expr) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	ast.Inspect(cond, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := x.pkg.Info.Types[e]; ok && tv.Value != nil {
+			if c, ok := constInt64(tv.Value); ok && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// compare walks the encoder's and one decoder's wire trees in lockstep and
+// reports the first divergence, which is where a mutated stream first
+// desynchronizes.
+func (w *WireCheck) compare(t *Target, encName, decName string, enc, dec []wireOp, path string) *Finding {
+	n := len(enc)
+	if len(dec) < n {
+		n = len(dec)
+	}
+	for i := 0; i < n; i++ {
+		e, d := enc[i], dec[i]
+		at := fmt.Sprintf("%s[%d]", path, i)
+		if e.kind != d.kind || (e.kind == wirePrim && e.prim != d.prim) {
+			return &Finding{Pass: w.Name(), Pos: t.Position(d.pos), Message: fmt.Sprintf(
+				"wire format asymmetry at %s: decoder %s reads %s where encoder %s writes %s",
+				at, decName, d.describe(), encName, e.describe())}
+		}
+		switch e.kind {
+		case wireBranch:
+			if e.cond != d.cond {
+				return &Finding{Pass: w.Name(), Pos: t.Position(d.pos), Message: fmt.Sprintf(
+					"wire format asymmetry at %s: decoder %s branches on %q where encoder %s branches on %q",
+					at, decName, d.cond, encName, e.cond)}
+			}
+			if f := w.compare(t, encName, decName, e.then, d.then, at+".then"); f != nil {
+				return f
+			}
+			if f := w.compare(t, encName, decName, e.els, d.els, at+".else"); f != nil {
+				return f
+			}
+		case wireRepeat:
+			if f := w.compare(t, encName, decName, e.body, d.body, at+".body"); f != nil {
+				return f
+			}
+		}
+	}
+	if len(dec) > n {
+		d := dec[n]
+		return &Finding{Pass: w.Name(), Pos: t.Position(d.pos), Message: fmt.Sprintf(
+			"wire format asymmetry at %s[%d]: decoder %s reads %s beyond the %d operations encoder %s writes",
+			path, n, decName, d.describe(), len(enc), encName)}
+	}
+	if len(enc) > n {
+		e := enc[n]
+		return &Finding{Pass: w.Name(), Pos: t.Position(e.pos), Message: fmt.Sprintf(
+			"wire format asymmetry at %s[%d]: encoder %s writes %s that decoder %s never reads",
+			path, n, encName, e.describe(), decName)}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// W2/W2c: decoder allocation and retention discipline
+
+// checkDecoderType applies the allocation-budget and dictionary-retention
+// rules to every method of the decoder's receiver type.
+func (w *WireCheck) checkDecoderType(t *Target, pkg *Package, decoderDecl *ast.FuncDecl) []Finding {
+	if decoderDecl.Recv == nil || len(decoderDecl.Recv.List) == 0 {
+		return nil
+	}
+	recvName := recvTypeName(decoderDecl.Recv.List[0].Type)
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) != recvName {
+				continue
+			}
+			out = append(out, w.checkMethodAllocs(t, pkg, fd)...)
+			out = append(out, w.checkMethodAppends(t, pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// checkMethodAllocs applies W2 to one decoder method: every make whose size
+// is not a folded constant is wire-derived and must have a finite proven
+// size interval (a declared-length cap) and a preceding terminating
+// accumulator-budget guard.
+func (w *WireCheck) checkMethodAllocs(t *Target, pkg *Package, fd *ast.FuncDecl) []Finding {
+	makes := wireDerivedMakes(pkg, fd)
+	if len(makes) == 0 {
+		return nil
+	}
+	name := funcDisplayName(fd)
+	guards := budgetGuardPositions(pkg, fd)
+	eng := t.values()
+	an := eng.analysisOf(pkg, fd)
+	if an == nil {
+		return nil
+	}
+	var out []Finding
+	reported := map[*ast.CallExpr]bool{}
+	an.walk(func(n ast.Node, f *valueFact) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !makes[call] || reported[call] {
+				return true
+			}
+			reported[call] = true
+			size := an.eval(f, call.Args[1])
+			if size.hiInf {
+				out = append(out, Finding{Pass: w.Name(), Pos: t.Position(call.Pos()), Message: fmt.Sprintf(
+					"%s: wire-derived allocation %s is unbounded (size interval %s): cap the declared length before allocating",
+					name, types.ExprString(call), size)})
+			}
+			if !precededByGuard(guards, call.Pos()) {
+				out = append(out, Finding{Pass: w.Name(), Pos: t.Position(call.Pos()), Message: fmt.Sprintf(
+					"%s: allocation %s precedes the event byte-budget check: accumulate the size into a budget field and reject past the cap before allocating",
+					name, types.ExprString(call))})
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// wireDerivedMakes collects the make calls in fd whose size argument does
+// not fold to a constant: in a decoder, a non-constant size came off the
+// wire.
+func wireDerivedMakes(pkg *Package, fd *ast.FuncDecl) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isB := pkg.Info.ObjectOf(id).(*types.Builtin); !isB {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[unparen(call.Args[1])]; ok && tv.Value != nil {
+			return true // constant-sized: not wire-derived
+		}
+		out[call] = true
+		return true
+	})
+	return out
+}
+
+// budgetGuardPositions finds the terminating accumulator-budget guards in
+// fd: an if statement whose condition compares a receiver field that is
+// accumulated with += at or before the guard, and whose body ends in a
+// return. The canonical shape is `if acc += int(n); acc > budget { return }`.
+func budgetGuardPositions(pkg *Package, fd *ast.FuncDecl) []token.Pos {
+	recv := recvObject(pkg, fd)
+	accumPos := map[*types.Var]token.Pos{}
+	// recordAccum notes a `field += ...` accumulation at position at; the
+	// canonical `if acc += n; acc > budget` form credits the accumulation
+	// to the guard's own position.
+	recordAccum := func(s ast.Stmt, at token.Pos) {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+			return
+		}
+		field := receiverField(pkg, recv, as.Lhs[0])
+		if field != nil {
+			if p, seen := accumPos[field]; !seen || at < p {
+				accumPos[field] = at
+			}
+		}
+	}
+	var guards []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			recordAccum(s, s.Pos())
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if ifs.Init != nil {
+			recordAccum(ifs.Init, ifs.Pos())
+		}
+		field := comparedField(pkg, recv, ifs.Cond)
+		if field == nil || !bodyTerminates(ifs.Body) {
+			return true
+		}
+		if p, ok := accumPos[field]; ok && p <= ifs.Pos() {
+			guards = append(guards, ifs.Pos())
+		}
+		return true
+	})
+	return guards
+}
+
+// comparedField extracts the receiver field compared in a budget-guard
+// condition like `acc > budget`.
+func comparedField(pkg *Package, recv types.Object, cond ast.Expr) *types.Var {
+	bin, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch bin.Op {
+	case token.GTR, token.GEQ, token.LSS, token.LEQ:
+	default:
+		return nil
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if field := receiverField(pkg, recv, side); field != nil {
+			return field
+		}
+	}
+	return nil
+}
+
+// recvObject resolves the receiver variable of a method declaration.
+func recvObject(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.ObjectOf(fd.Recv.List[0].Names[0])
+}
+
+// receiverField resolves recv.field selector expressions; state held on a
+// local (e.g. an in-flight event struct) is bounded by the event budget and
+// out of scope for the retention rules.
+func receiverField(pkg *Package, recv types.Object, e ast.Expr) *types.Var {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok || recv == nil || pkg.Info.ObjectOf(id) != recv {
+		return nil
+	}
+	if field, ok := pkg.Info.ObjectOf(sel.Sel).(*types.Var); ok && field.IsField() {
+		return field
+	}
+	return nil
+}
+
+// bodyTerminates reports whether a guard body ends the enclosing function's
+// current path (its last statement is a return).
+func bodyTerminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// precededByGuard reports whether any budget guard sits before pos.
+func precededByGuard(guards []token.Pos, pos token.Pos) bool {
+	for _, g := range guards {
+		if g < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMethodAppends applies W2c to one decoder method: appends to receiver
+// slice fields (the per-stream dictionary) must be guarded by a
+// `len(field) < cap` condition, or decoder memory grows with the stream.
+func (w *WireCheck) checkMethodAppends(t *Target, pkg *Package, fd *ast.FuncDecl) []Finding {
+	name := funcDisplayName(fd)
+	recv := recvObject(pkg, fd)
+	var out []Finding
+	var visit func(n ast.Node, guarded map[*types.Var]bool)
+	visit = func(n ast.Node, guarded map[*types.Var]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.IfStmt:
+				if s.Init != nil {
+					visit(s.Init, guarded)
+				}
+				visit(s.Cond, guarded)
+				inner := guarded
+				if f := lenCapGuardedField(pkg, recv, s.Cond); f != nil {
+					inner = map[*types.Var]bool{f: true}
+					for k := range guarded {
+						inner[k] = true
+					}
+				}
+				visit(s.Body, inner)
+				if s.Else != nil {
+					visit(s.Else, guarded)
+				}
+				return false
+			case *ast.CallExpr:
+				if field, ok := appendToField(pkg, recv, s); ok && !guarded[field] {
+					out = append(out, Finding{Pass: w.Name(), Pos: t.Position(s.Pos()), Message: fmt.Sprintf(
+						"%s: dictionary append %s has no len(%s) cap guard: a malicious stream grows decoder memory without bound",
+						name, types.ExprString(s), field.Name())})
+				}
+			}
+			return true
+		})
+	}
+	visit(fd.Body, map[*types.Var]bool{})
+	return out
+}
+
+// lenCapGuardedField recognizes `len(recv.field) < cap` (or <=) conditions
+// and returns the capped field.
+func lenCapGuardedField(pkg *Package, recv types.Object, cond ast.Expr) *types.Var {
+	bin, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var lenSide ast.Expr
+	switch bin.Op {
+	case token.LSS, token.LEQ:
+		lenSide = bin.X
+	case token.GTR, token.GEQ:
+		lenSide = bin.Y
+	default:
+		return nil
+	}
+	call, ok := unparen(lenSide).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return nil
+	}
+	if _, isB := pkg.Info.ObjectOf(id).(*types.Builtin); !isB {
+		return nil
+	}
+	return receiverField(pkg, recv, call.Args[0])
+}
+
+// appendToField recognizes append(recv.field, ...) calls on slice fields.
+func appendToField(pkg *Package, recv types.Object, call *ast.CallExpr) (*types.Var, bool) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if _, isB := pkg.Info.ObjectOf(id).(*types.Builtin); !isB {
+		return nil, false
+	}
+	field := receiverField(pkg, recv, call.Args[0])
+	if field == nil {
+		return nil, false
+	}
+	if _, isSlice := field.Type().Underlying().(*types.Slice); !isSlice {
+		return nil, false
+	}
+	return field, true
+}
+
+// ---------------------------------------------------------------------------
+// W3: negotiation coverage
+
+// checkNegotiation verifies every positive version constant the negotiation
+// function can return is covered by each wire sequence: version 1 is the
+// base format, higher versions must appear in a version branch.
+func (w *WireCheck) checkNegotiation(t *Target, pkg *Package, fd *ast.FuncDecl, order []string, sequences map[string][]wireOp) []Finding {
+	type versionReturn struct {
+		v   int64
+		pos token.Pos
+	}
+	var admitted []versionReturn
+	seen := map[int64]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[unparen(ret.Results[0])]; ok && tv.Value != nil {
+			if c, ok := constInt64(tv.Value); ok && c >= 1 && !seen[c] {
+				seen[c] = true
+				admitted = append(admitted, versionReturn{v: c, pos: ret.Pos()})
+			}
+		}
+		return true
+	})
+	var out []Finding
+	for _, vr := range admitted {
+		var missing []string
+		for _, name := range order {
+			covered := map[int64]bool{1: true}
+			coveredVersions(sequences[name], covered)
+			if !covered[vr.v] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			out = append(out, Finding{Pass: w.Name(), Pos: t.Position(vr.pos), Message: fmt.Sprintf(
+				"format negotiation %s admits version %d, which no version branch of %s implements",
+				funcDisplayName(fd), vr.v, strings.Join(missing, ", "))})
+		}
+	}
+	return out
+}
+
+// coveredVersions accumulates the version constants mentioned by the
+// sequence's version branches.
+func coveredVersions(ops []wireOp, into map[int64]bool) {
+	for _, op := range ops {
+		switch op.kind {
+		case wireBranch:
+			for _, v := range op.vers {
+				into[v] = true
+			}
+			coveredVersions(op.then, into)
+			coveredVersions(op.els, into)
+		case wireRepeat:
+			coveredVersions(op.body, into)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureWireCheck configures the pass for the miniature wire format the
+// wirecheck fixtures implement.
+func fixtureWireCheck() *WireCheck {
+	return &WireCheck{Spec: WireSpec{
+		Encoder:         "Writer.Emit",
+		Decoders:        []string{"Parser.Next", "Batch.Next"},
+		Primitives:      []string{"uvarint", "varint", "str"},
+		VersionField:    "version",
+		NegotiationFunc: "declaredFormat",
+	}}
+}
+
+func TestWireCheckBad(t *testing.T) {
+	tgt := fixtureTarget(t, "wirecheck_bad")
+	findings := fixtureWireCheck().Run(tgt)
+
+	// W1: Parser reads the name before the pid; only the first divergence
+	// reports per decoder.
+	f := requireFinding(t, findings, "decoder Parser.Next reads str where encoder Writer.Emit writes uvarint")
+	if want := fixtureLine(t, "wirecheck_bad/bad.go", "want: reordered before the pid read"); f.Pos.Line != want {
+		t.Errorf("reorder finding at line %d, want %d", f.Pos.Line, want)
+	}
+
+	// W1: Batch reads the zigzagged return with the wrong width.
+	requireFinding(t, findings, "decoder Batch.Next reads uvarint where encoder Writer.Emit writes varint")
+
+	// W2: the Parser string buffer is both uncapped and unbudgeted.
+	requireFinding(t, findings, "is unbounded (size interval")
+	requireFinding(t, findings, "precedes the event byte-budget check")
+
+	// W2c: the Parser dictionary grows without a cap.
+	requireFinding(t, findings, "dictionary append append(p.dict, s) has no len(dict) cap guard")
+
+	// W3: negotiation admits version 3, which nothing implements.
+	w3 := requireFinding(t, findings, "admits version 3")
+	for _, name := range []string{"Writer.Emit", "Parser.Next", "Batch.Next"} {
+		if !strings.Contains(w3.Message, name) {
+			t.Errorf("W3 finding does not name %s: %s", name, w3.Message)
+		}
+	}
+
+	if len(findings) != 6 {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Errorf("wirecheck_bad produced %d findings, want 6", len(findings))
+	}
+}
+
+func TestWireCheckClean(t *testing.T) {
+	tgt := fixtureTarget(t, "wirecheck_good")
+	for _, f := range fixtureWireCheck().Run(tgt) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// The default configuration must hold on the live tree: the real
+// BinaryWriter/BinaryParser/BatchDecoder trio and the daemon's format
+// negotiation are symmetric and disciplined.
+func TestWireCheckLiveTree(t *testing.T) {
+	tgt := repoTarget(t)
+	for _, f := range NewWireCheck().Run(tgt) {
+		t.Errorf("live tree finding: %s", f)
+	}
+}
+
+// A configured-but-missing encoder is config rot, not silence.
+func TestWireCheckConfigRot(t *testing.T) {
+	tgt := fixtureTarget(t, "wirecheck_good")
+	w := fixtureWireCheck()
+	w.Spec.Encoder = "Gone.Emit"
+	findings := w.Run(tgt)
+	requireFinding(t, findings, "encoder Gone.Emit, which does not exist")
+}

@@ -140,6 +140,11 @@ func (f *Filter) KeepRef(ev *Event) bool {
 	return keep
 }
 
+// classify decides scope from first principles: open-family path match,
+// descriptor propagation through dup, then any absolute string argument
+// under the mount.
+//
+//iocov:bounds-ok nstrs never exceeds len(istrs): AddStr spills to the Strs map once the inline array is full
 func (f *Filter) classify(ev *Event) bool {
 	if openFamily[ev.Name] {
 		match := ev.Path != "" && f.matchMount(ev.Path)
