@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestReproRelNontermination(t *testing.T) {
+	tgt := fixtureTarget(t, "reprorel")
+	pkg := tgt.Pkgs[0]
+	eng := tgt.values()
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				_ = eng.analysisOf(pkg, fd)
+			}
+		}
+	}
+}

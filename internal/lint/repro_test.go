@@ -1,0 +1,20 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestReproRecursionPanic(t *testing.T) {
+	tgt := fixtureTarget(t, "reprorec")
+	pkg := tgt.Pkgs[0]
+	eng := tgt.values()
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				an := eng.analysisOf(pkg, fd)
+				_ = an
+			}
+		}
+	}
+}

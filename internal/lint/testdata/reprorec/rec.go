@@ -1,0 +1,9 @@
+package reprorec
+
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	r := fact(n - 1)
+	return n * r
+}

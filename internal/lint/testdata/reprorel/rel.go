@@ -1,0 +1,12 @@
+package reprorel
+
+func consume(s []byte, i, n int) byte {
+	var b byte
+	if i < len(s) {
+		for j := 0; j < n; j++ {
+			i++
+			b = s[0]
+		}
+	}
+	return b
+}
